@@ -1,0 +1,69 @@
+// Command ptfbench runs the paper's experiments from the command line.
+//
+// Usage:
+//
+//	ptfbench -exp table3                 # small-scale, full training
+//	ptfbench -exp table4 -scale full     # paper-sized datasets
+//	ptfbench -exp fig3 -quick            # shortened training (smoke run)
+//	ptfbench -list                       # list experiment ids
+//	ptfbench -exp all                    # run everything
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"ptffedrec"
+	"ptffedrec/internal/experiments"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "", "experiment id (or 'all')")
+		scale   = flag.String("scale", "small", "dataset scale: small | full")
+		quick   = flag.Bool("quick", false, "shortened training (benchmark-style smoke run)")
+		seed    = flag.Uint64("seed", 1, "experiment seed")
+		list    = flag.Bool("list", false, "list experiment ids and exit")
+		verbose = flag.Bool("v", false, "log per-run progress")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range ptffedrec.ExperimentIDs {
+			fmt.Println(id)
+		}
+		return
+	}
+	if *exp == "" {
+		fmt.Fprintln(os.Stderr, "ptfbench: -exp is required (try -list)")
+		os.Exit(2)
+	}
+
+	o := experiments.Options{
+		Scale: experiments.Scale(*scale),
+		Quick: *quick,
+		Seed:  *seed,
+	}
+	if o.Scale != experiments.ScaleSmall && o.Scale != experiments.ScaleFull {
+		fmt.Fprintf(os.Stderr, "ptfbench: unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+	if *verbose {
+		o.Out = os.Stderr
+	}
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = ptffedrec.ExperimentIDs
+	}
+	for _, id := range ids {
+		start := time.Now()
+		if err := ptffedrec.RunExperiment(id, o, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "ptfbench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Printf("  (%s finished in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,66 @@
+// Privacy audit: reproduce the paper's §IV-G threat analysis on one dataset.
+// A curious-but-honest server runs the Top Guess Attack against every
+// client's uploads while the protocol trains, under each of the four
+// defenses. The output is the Table V story: unprotected uploads leak almost
+// everything, LDP trades a lot of utility for partial protection, and the
+// paper's sampling+swapping mechanism collapses the attack at minor cost.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ptffedrec"
+)
+
+func main() {
+	dataset := ptffedrec.Generate(ptffedrec.SteamSmall, 11)
+	split := dataset.Split(ptffedrec.NewRand(11), 0.2)
+	fmt.Println("auditing:", dataset.Stats())
+	fmt.Println()
+	fmt.Println("defense          attack-F1   NDCG@20   verdict")
+	fmt.Println("--------------   ---------   -------   -------")
+
+	type arm struct {
+		defense ptffedrec.Defense
+		verdict string
+	}
+	arms := []arm{
+		{ptffedrec.DefenseNone, "interactions recoverable from score order"},
+		{ptffedrec.DefenseLDP, "noise hurts utility more than it hides order"},
+		{ptffedrec.DefenseSampling, "hidden pos/neg ratio defeats top-guess"},
+		{ptffedrec.DefenseSamplingSwap, "order broken too; strongest protection"},
+	}
+
+	for _, a := range arms {
+		cfg := ptffedrec.DefaultConfig(ptffedrec.ServerNGCF)
+		cfg.Rounds = 8
+		cfg.ClientEpochs = 4
+		cfg.Privacy.Defense = a.defense
+
+		trainer, err := ptffedrec.NewTrainer(split, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		history, err := trainer.Run()
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// Attack strength once local models are trained (late rounds).
+		var lateF1 float64
+		half := history.Rounds[len(history.Rounds)/2:]
+		for _, rs := range half {
+			lateF1 += rs.AttackF1
+		}
+		lateF1 /= float64(len(half))
+
+		fmt.Printf("%-14s   %9.3f   %7.4f   %s\n", a.defense, lateF1, history.Final.NDCG, a.verdict)
+	}
+
+	fmt.Println()
+	fmt.Println("The attack assumes the platform-default 1:4 sampling ratio and guesses the")
+	fmt.Println("top 20% of uploaded scores as positives (§III-B2). Sampling randomises the")
+	fmt.Println("uploaded ratio per round; swapping exchanges top positives' scores with")
+	fmt.Println("negatives, destroying exactly the order information the attack needs.")
+}

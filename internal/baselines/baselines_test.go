@@ -1,0 +1,270 @@
+package baselines
+
+import (
+	"math"
+	"testing"
+
+	"ptffedrec/internal/data"
+	"ptffedrec/internal/rng"
+)
+
+func tinySplit(t *testing.T) *data.Split {
+	t.Helper()
+	d := data.Generate(data.Tiny, 42)
+	return d.Split(rng.New(1), 0.2)
+}
+
+func fastConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Rounds = 3
+	cfg.LocalEpochs = 2
+	cfg.Dim = 8
+	cfg.LR = 0.01
+	cfg.Workers = 4
+	cfg.KeyBits = 256
+	return cfg
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default invalid: %v", err)
+	}
+	bad := []func(*Config){
+		func(c *Config) { c.Rounds = 0 },
+		func(c *Config) { c.LocalEpochs = 0 },
+		func(c *Config) { c.Dim = 0 },
+		func(c *Config) { c.NegRatio = 0 },
+		func(c *Config) { c.ClientFraction = 0 },
+		func(c *Config) { c.EvalK = 0 },
+		func(c *Config) { c.Cipher = "bogus" },
+	}
+	for i, mutate := range bad {
+		c := DefaultConfig()
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Fatalf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestAdamVecConverges(t *testing.T) {
+	a := newAdamVec(rng.New(1), 2, 0.05)
+	target := []float64{0.4, -0.6}
+	for i := 0; i < 800; i++ {
+		g := []float64{2 * (a.w[0] - target[0]), 2 * (a.w[1] - target[1])}
+		a.step(g)
+	}
+	for k := range target {
+		if math.Abs(a.w[k]-target[k]) > 1e-2 {
+			t.Fatalf("adamVec dim %d = %v, want %v", k, a.w[k], target[k])
+		}
+	}
+}
+
+func TestLocalSamplesShape(t *testing.T) {
+	sp := tinySplit(t)
+	s := rng.New(2)
+	samples := localSamples(sp, s, 0, 4)
+	nPos := len(sp.Train[0])
+	if len(samples) != nPos*5 {
+		t.Fatalf("samples = %d, want %d", len(samples), nPos*5)
+	}
+	for i, smp := range samples {
+		if i < nPos && smp.Label != 1 {
+			t.Fatal("positives must come first with label 1")
+		}
+		if i >= nPos && smp.Label != 0 {
+			t.Fatal("negatives must have label 0")
+		}
+	}
+}
+
+func TestFCFLearnsAndMeters(t *testing.T) {
+	sp := tinySplit(t)
+	f, err := NewFCF(sp, fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := f.Evaluate()
+	Run(f)
+	after := f.Evaluate()
+	if after.Users == 0 {
+		t.Fatal("no users evaluated")
+	}
+	if after.NDCG < before.NDCG-0.02 {
+		t.Fatalf("FCF got worse: %v -> %v", before.NDCG, after.NDCG)
+	}
+	// Comm = 2 × item matrix per round (float32).
+	want := float64(2 * 4 * sp.NumItems * 8)
+	if got := f.AvgBytesPerClientPerRound(); math.Abs(got-want) > 1 {
+		t.Fatalf("FCF bytes = %v, want %v", got, want)
+	}
+}
+
+func TestFedMFAccountedCostsExceedFCF(t *testing.T) {
+	sp := tinySplit(t)
+	cfg := fastConfig()
+	fcf, err := NewFCF(sp, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fedmf, err := NewFedMF(sp, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fcf.RunRound(0)
+	fedmf.RunRound(0)
+	if fedmf.AvgBytesPerClientPerRound() <= fcf.AvgBytesPerClientPerRound() {
+		t.Fatalf("FedMF (%v) should cost more than FCF (%v)",
+			fedmf.AvgBytesPerClientPerRound(), fcf.AvgBytesPerClientPerRound())
+	}
+}
+
+func TestFedMFRealMatchesAccounted(t *testing.T) {
+	// The encrypted aggregation path must produce (within fixed-point
+	// error) the same item matrix as plaintext aggregation.
+	d := data.Generate(data.Profile{
+		Name: "micro", NumUsers: 6, NumItems: 10,
+		Interactions: 30, ZipfExponent: 1, Clusters: 2, ClusterBias: 0.7, MinPerUser: 3,
+	}, 7)
+	sp := d.Split(rng.New(3), 0.2)
+
+	cfg := fastConfig()
+	cfg.Rounds = 2
+	cfg.Dim = 4
+	cfg.Workers = 1
+
+	cfgReal := cfg
+	cfgReal.Cipher = CipherReal
+	real, err := NewFedMF(sp, cfgReal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgAcc := cfg
+	cfgAcc.Cipher = CipherAccounted
+	acc, err := NewFedMF(sp, cfgAcc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	Run(real)
+	Run(acc)
+
+	// Same seed -> same plaintext trajectory; Real additionally keeps the
+	// ciphertext state in sync with its plaintext view.
+	dec, err := real.DecryptedItems()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range dec.Data {
+		if math.Abs(dec.Data[j]-real.items.Data[j]) > 1e-6 {
+			t.Fatalf("ciphertext/plaintext diverged at %d: %v vs %v", j, dec.Data[j], real.items.Data[j])
+		}
+		if math.Abs(real.items.Data[j]-acc.items.Data[j]) > 1e-5 {
+			t.Fatalf("real/accounted diverged at %d: %v vs %v", j, real.items.Data[j], acc.items.Data[j])
+		}
+	}
+	if _, err := acc.DecryptedItems(); err == nil {
+		t.Fatal("DecryptedItems should fail in accounted mode")
+	}
+}
+
+func TestFedMFHomomorphicSmokeTest(t *testing.T) {
+	sp := tinySplit(t)
+	f, err := NewFedMF(sp, fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.HomomorphicSmokeTest(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMetaMFLearnsAndMeters(t *testing.T) {
+	sp := tinySplit(t)
+	m, err := NewMetaMF(sp, fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	Run(m)
+	res := m.Evaluate()
+	if res.Users == 0 {
+		t.Fatal("no users evaluated")
+	}
+	// MetaMF ships generated Q down + dQ up, so it must cost slightly more
+	// than FCF's 2×Q.
+	fcfBytes := float64(2 * 4 * sp.NumItems * 8)
+	if got := m.AvgBytesPerClientPerRound(); got <= fcfBytes {
+		t.Fatalf("MetaMF bytes = %v, want > FCF's %v", got, fcfBytes)
+	}
+}
+
+func TestMetaMFPersonalization(t *testing.T) {
+	// Different users must receive different generated item embeddings once
+	// cv vectors have been trained apart.
+	sp := tinySplit(t)
+	cfg := fastConfig()
+	m, err := NewMetaMF(sp, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	Run(m)
+	_, _, _, _, s0, _ := m.generate(0)
+	_, _, _, _, s1, _ := m.generate(1)
+	diff := 0.0
+	for k := range s0 {
+		diff += math.Abs(s0[k] - s1[k])
+	}
+	if diff == 0 {
+		t.Fatal("meta-network generates identical modulation for all users")
+	}
+}
+
+func TestBaselinesDeterministic(t *testing.T) {
+	sp := tinySplit(t)
+	cfg := fastConfig()
+	cfg.Rounds = 2
+	runFCF := func() float64 {
+		f, err := NewFCF(sp, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		Run(f)
+		return f.Evaluate().NDCG
+	}
+	if runFCF() != runFCF() {
+		t.Fatal("FCF not deterministic")
+	}
+	runMeta := func() float64 {
+		m, err := NewMetaMF(sp, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		Run(m)
+		return m.Evaluate().NDCG
+	}
+	if runMeta() != runMeta() {
+		t.Fatal("MetaMF not deterministic")
+	}
+}
+
+func TestClientFraction(t *testing.T) {
+	sp := tinySplit(t)
+	cfg := fastConfig()
+	cfg.ClientFraction = 0.5
+	f, err := NewFCF(sp, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.RunRound(0)
+	// Only half the clients should have traffic.
+	withTraffic := 0
+	for u := 0; u < sp.NumUsers; u++ {
+		if f.meter.TotalUp() > 0 {
+			withTraffic++
+			break
+		}
+	}
+	if withTraffic == 0 {
+		t.Fatal("no traffic at all")
+	}
+}

@@ -1,0 +1,64 @@
+package comm
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestQuantizedRoundTripBounds(t *testing.T) {
+	f := func(user, item uint32, score float64) bool {
+		if math.IsNaN(score) || math.IsInf(score, 0) {
+			return true
+		}
+		in := []Prediction{{User: int(user), Item: int(item), Score: score}}
+		out, err := DecodePredictionsQuantized(EncodePredictionsQuantized(in))
+		if err != nil || len(out) != 1 {
+			return false
+		}
+		if out[0].User != in[0].User || out[0].Item != in[0].Item {
+			return false
+		}
+		want := score
+		if want < 0 {
+			want = 0
+		}
+		if want > 1 {
+			want = 1
+		}
+		// Worst-case quantization error is half a bucket.
+		return math.Abs(out[0].Score-want) <= 0.5/255+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuantizedSize(t *testing.T) {
+	preds := make([]Prediction, 100)
+	if got := len(EncodePredictionsQuantized(preds)); got != 100*QuantizedWireSize {
+		t.Fatalf("quantized size = %d", got)
+	}
+}
+
+func TestQuantizedDecodeRejectsTruncated(t *testing.T) {
+	if _, err := DecodePredictionsQuantized(make([]byte, 10)); err == nil {
+		t.Fatal("truncated quantized payload accepted")
+	}
+}
+
+func TestQuantizedIdempotent(t *testing.T) {
+	// Quantizing an already-quantized score must be lossless.
+	in := []Prediction{{User: 1, Item: 2, Score: 0.5}}
+	once, err := DecodePredictionsQuantized(EncodePredictionsQuantized(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	twice, err := DecodePredictionsQuantized(EncodePredictionsQuantized(once))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if once[0].Score != twice[0].Score {
+		t.Fatalf("quantization not idempotent: %v vs %v", once[0].Score, twice[0].Score)
+	}
+}

@@ -1,0 +1,98 @@
+package data
+
+import "testing"
+
+func TestKCoreRemovesLightUsersAndItems(t *testing.T) {
+	// user 0: 3 interactions; user 1: 1; item 3 touched only by user 1.
+	d, _ := NewDataset("t", 2, 4, [][2]int{
+		{0, 0}, {0, 1}, {0, 2},
+		{1, 3},
+	})
+	core, userMap, itemMap := KCore(d, 2)
+	if _, ok := userMap[1]; ok {
+		t.Fatal("light user survived")
+	}
+	if _, ok := itemMap[3]; ok {
+		t.Fatal("light item survived")
+	}
+	// Items 0,1,2 have degree 1 after user 1 is gone... they had degree 1
+	// from the start, so with k=2 everything unravels.
+	if core.NumInteractions() != 0 {
+		t.Fatalf("k=2 core should be empty here, got %d", core.NumInteractions())
+	}
+}
+
+func TestKCoreKeepsDenseCore(t *testing.T) {
+	// 3 users × 3 items fully connected, plus one dangling user.
+	pairs := [][2]int{}
+	for u := 0; u < 3; u++ {
+		for v := 0; v < 3; v++ {
+			pairs = append(pairs, [2]int{u, v})
+		}
+	}
+	pairs = append(pairs, [2]int{3, 3})
+	d, _ := NewDataset("t", 4, 4, pairs)
+	core, userMap, itemMap := KCore(d, 3)
+	if core.NumUsers != 3 || core.NumItems != 3 {
+		t.Fatalf("core = %dx%d, want 3x3", core.NumUsers, core.NumItems)
+	}
+	if core.NumInteractions() != 9 {
+		t.Fatalf("core interactions = %d", core.NumInteractions())
+	}
+	if len(userMap) != 3 || len(itemMap) != 3 {
+		t.Fatal("maps wrong size")
+	}
+	// Reindexing must be dense.
+	for _, nu := range userMap {
+		if nu < 0 || nu >= 3 {
+			t.Fatalf("non-dense user id %d", nu)
+		}
+	}
+}
+
+func TestKCoreCascades(t *testing.T) {
+	// A chain: removing the endpoint drops its neighbor below k, cascading.
+	d, _ := NewDataset("t", 3, 3, [][2]int{
+		{0, 0}, {0, 1},
+		{1, 1}, {1, 2},
+		{2, 2},
+	})
+	core, _, _ := KCore(d, 2)
+	// user 2 has 1 interaction -> removed -> item 2 drops to 1 -> removed ->
+	// user 1 drops to 1 -> removed -> item 1 drops to 1 -> removed -> user 0
+	// drops to 1 -> removed. Everything unravels.
+	if core.NumInteractions() != 0 {
+		t.Fatalf("cascade should empty the dataset, got %d", core.NumInteractions())
+	}
+}
+
+func TestKCoreInvariant(t *testing.T) {
+	// Every surviving user/item must have ≥ k interactions.
+	d := Generate(ML100KSmall, 9)
+	const k = 8
+	core, _, _ := KCore(d, k)
+	for u, items := range core.UserItems {
+		if len(items) < k {
+			t.Fatalf("user %d has %d < %d interactions", u, len(items), k)
+		}
+	}
+	for v, cnt := range core.ItemPopularity() {
+		if cnt > 0 && cnt < k {
+			t.Fatalf("item %d has %d < %d interactions", v, cnt, k)
+		}
+		if cnt == 0 {
+			t.Fatalf("item %d survived with no interactions", v)
+		}
+	}
+	if core.Name != "ml-100k-small-8core" {
+		t.Fatalf("core name = %s", core.Name)
+	}
+}
+
+func TestKCoreZero(t *testing.T) {
+	d := Generate(Tiny, 3)
+	core, _, _ := KCore(d, 0)
+	if core.NumInteractions() != d.NumInteractions() {
+		t.Fatal("0-core should keep everything")
+	}
+}

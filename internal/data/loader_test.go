@@ -1,0 +1,114 @@
+package data
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseMovieLensFormat(t *testing.T) {
+	in := "1\t3\t5\t881250949\n1\t2\t1\t881250950\n2\t3\t4\t881250951\n"
+	d, err := ParseInteractions("ml", strings.NewReader(in), "\t", 3, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// rating 1 filtered out by minRating=3
+	if d.NumInteractions() != 2 {
+		t.Fatalf("interactions = %d", d.NumInteractions())
+	}
+	if !d.HasInteraction(0, 2) || !d.HasInteraction(1, 2) {
+		t.Fatal("1-based conversion wrong")
+	}
+	if d.HasInteraction(0, 1) {
+		t.Fatal("low rating kept")
+	}
+}
+
+func TestParseCSVNoRating(t *testing.T) {
+	in := "0,1\n0,2\n# comment\n\n3,0\n"
+	d, err := ParseInteractions("csv", strings.NewReader(in), ",", 0.5, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumUsers != 4 || d.NumItems != 3 || d.NumInteractions() != 3 {
+		t.Fatalf("parsed %d users %d items %d inter", d.NumUsers, d.NumItems, d.NumInteractions())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"justonefield\n",
+		"a,b\n",
+		"0,x\n",
+		"0,1,notafloat\n",
+		"0,0\n0,-1\n",
+	}
+	for _, in := range cases {
+		if _, err := ParseInteractions("bad", strings.NewReader(in), ",", 0, false); err == nil {
+			t.Fatalf("input %q accepted", in)
+		}
+	}
+	if _, err := ParseInteractions("empty", strings.NewReader(""), ",", 0, false); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}
+
+func TestWriteCSVRoundTrip(t *testing.T) {
+	d := Generate(Tiny, 5)
+	var buf bytes.Buffer
+	if err := WriteCSV(d, &buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseInteractions("tiny", &buf, ",", 0.5, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumInteractions() != d.NumInteractions() {
+		t.Fatalf("round trip lost interactions: %d vs %d", back.NumInteractions(), d.NumInteractions())
+	}
+	for u := range d.UserItems {
+		for i, v := range d.UserItems[u] {
+			if back.UserItems[u][i] != v {
+				t.Fatal("round trip changed profile")
+			}
+		}
+	}
+}
+
+func TestLoadCSVFromDisk(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "d.csv")
+	if err := os.WriteFile(path, []byte("0,0\n1,1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	d, err := LoadCSV(path, "disk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumInteractions() != 2 {
+		t.Fatalf("interactions = %d", d.NumInteractions())
+	}
+	if _, err := LoadCSV(filepath.Join(dir, "missing.csv"), "x"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestLoadMovieLensFromDisk(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "u.data")
+	if err := os.WriteFile(path, []byte("1\t1\t4\t0\n2\t2\t2\t0\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	d, err := LoadMovieLens100K(path, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumInteractions() != 1 || !d.HasInteraction(0, 0) {
+		t.Fatal("movielens load wrong")
+	}
+	if _, err := LoadMovieLens100K(filepath.Join(dir, "nope"), 3); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

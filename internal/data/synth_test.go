@@ -1,0 +1,159 @@
+package data
+
+import (
+	"math"
+	"sort"
+	"testing"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(Tiny, 42)
+	b := Generate(Tiny, 42)
+	if a.NumInteractions() != b.NumInteractions() {
+		t.Fatal("same seed produced different datasets")
+	}
+	for u := range a.UserItems {
+		for i := range a.UserItems[u] {
+			if a.UserItems[u][i] != b.UserItems[u][i] {
+				t.Fatal("same seed produced different profiles")
+			}
+		}
+	}
+	c := Generate(Tiny, 43)
+	if c.NumInteractions() == a.NumInteractions() && func() bool {
+		for u := range a.UserItems {
+			if len(a.UserItems[u]) != len(c.UserItems[u]) {
+				return false
+			}
+		}
+		return true
+	}() {
+		// identical layout across seeds would be suspicious but not fatal;
+		// require at least one differing profile
+		same := true
+		for u := range a.UserItems {
+			for i := range a.UserItems[u] {
+				if i >= len(c.UserItems[u]) || a.UserItems[u][i] != c.UserItems[u][i] {
+					same = false
+					break
+				}
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical datasets")
+		}
+	}
+}
+
+func TestGenerateHitsTargets(t *testing.T) {
+	for _, p := range []Profile{Tiny, ML100KSmall, SteamSmall, GowallaSmall} {
+		d := Generate(p, 7)
+		if d.NumUsers != p.NumUsers || d.NumItems != p.NumItems {
+			t.Fatalf("%s universe %dx%d", p.Name, d.NumUsers, d.NumItems)
+		}
+		got := d.NumInteractions()
+		lo := int(float64(p.Interactions) * 0.75)
+		hi := int(float64(p.Interactions) * 1.25)
+		if got < lo || got > hi {
+			t.Fatalf("%s interactions %d outside [%d,%d]", p.Name, got, lo, hi)
+		}
+		for u, items := range d.UserItems {
+			if len(items) < p.MinPerUser/2 {
+				t.Fatalf("%s user %d has only %d interactions", p.Name, u, len(items))
+			}
+		}
+	}
+}
+
+func TestGeneratePopularitySkew(t *testing.T) {
+	d := Generate(ML100KSmall, 11)
+	pop := d.ItemPopularity()
+	sort.Sort(sort.Reverse(sort.IntSlice(pop)))
+	// Top 10% of items should hold well over 10% of interactions.
+	top := 0
+	for _, c := range pop[:len(pop)/10] {
+		top += c
+	}
+	frac := float64(top) / float64(d.NumInteractions())
+	if frac < 0.2 {
+		t.Fatalf("top-decile popularity share = %v, want long tail (>0.2)", frac)
+	}
+}
+
+func TestGenerateDensityOrdering(t *testing.T) {
+	ml := Generate(ML100KSmall, 3).Density()
+	st := Generate(SteamSmall, 3).Density()
+	gw := Generate(GowallaSmall, 3).Density()
+	if !(ml > gw && gw > st) {
+		t.Fatalf("density ordering ml=%v gowalla=%v steam=%v, want ml>gowalla>steam", ml, gw, st)
+	}
+}
+
+func TestGenerateClusterSignal(t *testing.T) {
+	// Users in the same cluster should overlap more than users in different
+	// clusters. We can't observe the latent assignment, so test the weaker
+	// consequence: the dataset has strongly unbalanced pairwise overlaps.
+	d := Generate(ML100KSmall, 13)
+	sim := func(a, b []int) float64 {
+		set := map[int]bool{}
+		for _, v := range a {
+			set[v] = true
+		}
+		inter := 0
+		for _, v := range b {
+			if set[v] {
+				inter++
+			}
+		}
+		union := len(a) + len(b) - inter
+		if union == 0 {
+			return 0
+		}
+		return float64(inter) / float64(union)
+	}
+	var sims []float64
+	for u := 0; u < 40; u++ {
+		for w := u + 1; w < 40; w++ {
+			sims = append(sims, sim(d.UserItems[u], d.UserItems[w]))
+		}
+	}
+	sort.Float64s(sims)
+	lo := sims[len(sims)/10]
+	hi := sims[len(sims)*9/10]
+	if hi < lo*2 && hi-lo < 0.05 {
+		t.Fatalf("no cluster structure: p10=%v p90=%v", lo, hi)
+	}
+}
+
+func TestProfileByName(t *testing.T) {
+	p, err := ProfileByName("ml-100k")
+	if err != nil || p.NumUsers != 943 {
+		t.Fatalf("ProfileByName: %v %+v", err, p)
+	}
+	if _, err := ProfileByName("nope"); err == nil {
+		t.Fatal("unknown profile accepted")
+	}
+}
+
+func TestFullProfilesMatchTableII(t *testing.T) {
+	// The calibrated profiles must reproduce Table II's published statistics.
+	cases := []struct {
+		p       Profile
+		users   int
+		items   int
+		density float64
+	}{
+		{ML100K, 943, 1682, 0.063},
+		{Steam200K, 3753, 5134, 0.0059},
+		{Gowalla, 8392, 10068, 0.0046},
+	}
+	for _, c := range cases {
+		if c.p.NumUsers != c.users || c.p.NumItems != c.items {
+			t.Fatalf("%s universe mismatch", c.p.Name)
+		}
+		implied := float64(c.p.Interactions) / (float64(c.users) * float64(c.items))
+		if math.Abs(implied-c.density)/c.density > 0.1 {
+			t.Fatalf("%s implied density %v, want ≈%v", c.p.Name, implied, c.density)
+		}
+	}
+}

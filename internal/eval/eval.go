@@ -1,0 +1,59 @@
+// Package eval computes the paper's ranking metrics (§IV-B): Recall@20 and
+// NDCG@20 over every item the user has not interacted with in training, with
+// the held-out 20% as relevance targets.
+package eval
+
+import (
+	"ptffedrec/internal/data"
+	"ptffedrec/internal/metrics"
+)
+
+// Scorer scores one user against a list of candidate items. models.Recommender
+// satisfies this; federated clients adapt it to their local user index.
+type Scorer interface {
+	ScoreItems(u int, items []int) []float64
+}
+
+// ScorerFunc adapts a function to the Scorer interface.
+type ScorerFunc func(u int, items []int) []float64
+
+// ScoreItems implements Scorer.
+func (f ScorerFunc) ScoreItems(u int, items []int) []float64 { return f(u, items) }
+
+// Result holds user-averaged ranking metrics.
+type Result struct {
+	Recall, NDCG float64
+	Users        int
+}
+
+// Ranking evaluates the scorer on a split at cutoff k. For each user with
+// held-out items, every non-train item is scored; train positives are
+// excluded from the candidate list.
+func Ranking(s Scorer, sp *data.Split, k int) Result {
+	var agg metrics.RankEval
+	candidates := make([]int, 0, sp.NumItems)
+	for u := 0; u < sp.NumUsers; u++ {
+		if len(sp.Test[u]) == 0 {
+			continue
+		}
+		candidates = candidates[:0]
+		for v := 0; v < sp.NumItems; v++ {
+			if !sp.InTrain(u, v) {
+				candidates = append(candidates, v)
+			}
+		}
+		scores := s.ScoreItems(u, candidates)
+		top := metrics.TopK(scores, k)
+		ranked := make([]int, len(top))
+		for i, idx := range top {
+			ranked[i] = candidates[idx]
+		}
+		relevant := make(map[int]bool, len(sp.Test[u]))
+		for _, v := range sp.Test[u] {
+			relevant[v] = true
+		}
+		agg.Add(ranked, relevant, k)
+	}
+	r, n := agg.Mean()
+	return Result{Recall: r, NDCG: n, Users: agg.Users}
+}

@@ -1,0 +1,188 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§IV). Each runner builds the workloads, drives the trainers in
+// internal/fed, internal/baselines and internal/central, and returns typed
+// results that print in the shape of the corresponding paper table.
+//
+// Two scales are supported: ScaleSmall runs the calibrated scaled-down
+// dataset profiles (minutes on a laptop; the default for benchmarks), and
+// ScaleFull runs the paper-sized profiles. The Quick flag additionally
+// shortens training for smoke-level runs. Relative orderings — the paper's
+// claims — are stable across scales; absolute values are recorded in
+// EXPERIMENTS.md.
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"ptffedrec/internal/baselines"
+	"ptffedrec/internal/central"
+	"ptffedrec/internal/data"
+	"ptffedrec/internal/eval"
+	"ptffedrec/internal/fed"
+	"ptffedrec/internal/models"
+	"ptffedrec/internal/rng"
+)
+
+// Scale selects the dataset profiles.
+type Scale string
+
+// Dataset scales.
+const (
+	ScaleSmall Scale = "small"
+	ScaleFull  Scale = "full"
+)
+
+// Options configures a whole experiment run.
+type Options struct {
+	Scale Scale
+	Quick bool // shorten training (benchmark smoke runs)
+	Seed  uint64
+	Out   io.Writer // nil silences progress output
+
+	// ProfilesOverride replaces the scale-selected datasets (tests use the
+	// Tiny profile to keep the full grid fast).
+	ProfilesOverride []data.Profile
+}
+
+// DefaultOptions returns the benchmark-friendly configuration.
+func DefaultOptions() Options {
+	return Options{Scale: ScaleSmall, Quick: true, Seed: 1}
+}
+
+// Profiles returns the three evaluation datasets at the requested scale, in
+// the paper's order (MovieLens, Steam, Gowalla).
+func (o Options) Profiles() []data.Profile {
+	if len(o.ProfilesOverride) > 0 {
+		return o.ProfilesOverride
+	}
+	if o.Scale == ScaleFull {
+		return []data.Profile{data.ML100K, data.Steam200K, data.Gowalla}
+	}
+	return []data.Profile{data.ML100KSmall, data.SteamSmall, data.GowallaSmall}
+}
+
+// logf writes progress output if a writer is configured.
+func (o Options) logf(format string, args ...any) {
+	if o.Out != nil {
+		fmt.Fprintf(o.Out, format, args...)
+	}
+}
+
+// split generates and splits one dataset deterministically.
+func (o Options) split(p data.Profile) *data.Split {
+	d := data.Generate(p, o.Seed)
+	return d.Split(rng.New(o.Seed).Derive("split:"+p.Name), 0.2)
+}
+
+// fedConfig returns the PTF-FedRec configuration for this run scale. The
+// small profiles have ~6x shorter user profiles than the paper's datasets,
+// so batch sizes shrink proportionally to keep the number of optimizer steps
+// per round comparable to the paper's setting.
+func (o Options) fedConfig(server models.Kind) fed.Config {
+	cfg := fed.DefaultConfig(server)
+	cfg.Seed = o.Seed
+	if o.Scale != ScaleFull {
+		cfg.ClientBatch = 16
+		cfg.ServerBatch = 256
+		cfg.LR = 2e-3
+	}
+	if o.Quick {
+		cfg.Rounds = 6
+		cfg.ClientEpochs = 2
+		cfg.ServerEpochs = 1
+		cfg.Dim = 16
+	}
+	return cfg
+}
+
+// baselineConfig returns the parameter-transmission baseline configuration.
+func (o Options) baselineConfig() baselines.Config {
+	cfg := baselines.DefaultConfig()
+	cfg.Seed = o.Seed
+	cfg.LR = 5e-3 // pointwise SGD-style local updates converge slowly at 1e-3
+	if o.Quick {
+		cfg.Rounds = 6
+		cfg.LocalEpochs = 2
+		cfg.Dim = 16
+	}
+	return cfg
+}
+
+// centralConfig returns the centralized-training configuration.
+func (o Options) centralConfig(kind models.Kind) central.Config {
+	cfg := central.DefaultConfig(kind)
+	cfg.Seed = o.Seed
+	if o.Scale != ScaleFull {
+		cfg.BatchSize = 256
+		cfg.LR = 2e-3
+	}
+	if o.Quick {
+		cfg.Epochs = 10
+		cfg.Dim = 16
+	}
+	return cfg
+}
+
+// runPTF trains PTF-FedRec with the given server model and returns the
+// history and trainer.
+func (o Options) runPTF(sp *data.Split, server models.Kind, mutate func(*fed.Config)) (*fed.History, *fed.Trainer, error) {
+	cfg := o.fedConfig(server)
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	tr, err := fed.NewTrainer(sp, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	h, err := tr.Run()
+	if err != nil {
+		return nil, nil, err
+	}
+	return h, tr, nil
+}
+
+// runCentral trains a centralized model and evaluates it.
+func (o Options) runCentral(sp *data.Split, kind models.Kind) (eval.Result, error) {
+	tr, err := central.NewTrainer(sp, o.centralConfig(kind))
+	if err != nil {
+		return eval.Result{}, err
+	}
+	tr.Run()
+	return tr.Evaluate(o.evalK()), nil
+}
+
+func (o Options) evalK() int { return 20 }
+
+// runBaseline constructs, trains and evaluates one federated baseline.
+func (o Options) runBaseline(sp *data.Split, name string) (eval.Result, float64, error) {
+	cfg := o.baselineConfig()
+	var b baselines.FederatedBaseline
+	var err error
+	switch name {
+	case "FCF":
+		b, err = baselines.NewFCF(sp, cfg)
+	case "FedMF":
+		b, err = baselines.NewFedMF(sp, cfg)
+	case "MetaMF":
+		b, err = baselines.NewMetaMF(sp, cfg)
+	default:
+		return eval.Result{}, 0, fmt.Errorf("experiments: unknown baseline %q", name)
+	}
+	if err != nil {
+		return eval.Result{}, 0, err
+	}
+	baselines.Run(b)
+	return b.Evaluate(), b.AvgBytesPerClientPerRound(), nil
+}
+
+// Cell is one (Recall, NDCG) measurement.
+type Cell struct {
+	Recall, NDCG float64
+}
+
+// ExperimentIDs lists every runnable experiment for the CLI.
+var ExperimentIDs = []string{
+	"table2", "table3", "table4", "table5", "table6", "table7", "table8",
+	"fig3", "fig4", "ablation-servergraph", "ablation-noise",
+}

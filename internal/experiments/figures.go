@@ -1,0 +1,248 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"ptffedrec/internal/fed"
+	"ptffedrec/internal/models"
+	"ptffedrec/internal/privacy"
+)
+
+// --------------------------------------------------------------- Figure 3
+
+// SweepPoint is one hyper-parameter setting's outcome.
+type SweepPoint struct {
+	Label string
+	NDCG  float64
+	F1    float64
+}
+
+// Fig3Result holds the three privacy hyper-parameter sweeps per dataset.
+type Fig3Result struct {
+	Datasets []string
+	// Beta[d], Gamma[d], Lambda[d] are the sweep series for dataset d.
+	Beta, Gamma, Lambda [][]SweepPoint
+}
+
+// RunFig3 sweeps the β sampling range, the γ range, and the swap rate λ,
+// measuring NDCG@20 and attack F1 as in Fig. 3 (server: NGCF).
+func RunFig3(o Options) (Fig3Result, error) {
+	res := Fig3Result{}
+	betaRanges := [][2]float64{{0.1, 1}, {0.3, 1}, {0.5, 1}, {0.7, 1}}
+	gammaRanges := [][2]int{{1, 4}, {2, 4}, {3, 4}, {4, 4}}
+	lambdas := []float64{0.05, 0.1, 0.15, 0.2}
+
+	for _, p := range o.Profiles() {
+		res.Datasets = append(res.Datasets, p.Name)
+		sp := o.split(p)
+
+		var betaSeries []SweepPoint
+		for _, br := range betaRanges {
+			o.logf("fig3: %s beta=[%.1f,%.1f]\n", p.Name, br[0], br[1])
+			h, _, err := o.runPTF(sp, models.KindNGCF, func(c *fed.Config) {
+				c.Privacy.BetaMin, c.Privacy.BetaMax = br[0], br[1]
+			})
+			if err != nil {
+				return res, fmt.Errorf("fig3 beta on %s: %w", p.Name, err)
+			}
+			betaSeries = append(betaSeries, SweepPoint{
+				Label: fmt.Sprintf("[%.1f,%.1f]", br[0], br[1]),
+				NDCG:  h.Final.NDCG,
+				F1:    lateRoundAttackF1(h),
+			})
+		}
+		res.Beta = append(res.Beta, betaSeries)
+
+		var gammaSeries []SweepPoint
+		for _, gr := range gammaRanges {
+			o.logf("fig3: %s gamma=[%d,%d]\n", p.Name, gr[0], gr[1])
+			h, _, err := o.runPTF(sp, models.KindNGCF, func(c *fed.Config) {
+				c.Privacy.GammaMin, c.Privacy.GammaMax = gr[0], gr[1]
+			})
+			if err != nil {
+				return res, fmt.Errorf("fig3 gamma on %s: %w", p.Name, err)
+			}
+			gammaSeries = append(gammaSeries, SweepPoint{
+				Label: fmt.Sprintf("[%d,%d]", gr[0], gr[1]),
+				NDCG:  h.Final.NDCG,
+				F1:    lateRoundAttackF1(h),
+			})
+		}
+		res.Gamma = append(res.Gamma, gammaSeries)
+
+		var lambdaSeries []SweepPoint
+		for _, l := range lambdas {
+			o.logf("fig3: %s lambda=%.2f\n", p.Name, l)
+			h, _, err := o.runPTF(sp, models.KindNGCF, func(c *fed.Config) {
+				c.Privacy.Lambda = l
+			})
+			if err != nil {
+				return res, fmt.Errorf("fig3 lambda on %s: %w", p.Name, err)
+			}
+			lambdaSeries = append(lambdaSeries, SweepPoint{
+				Label: fmt.Sprintf("%.2f", l),
+				NDCG:  h.Final.NDCG,
+				F1:    lateRoundAttackF1(h),
+			})
+		}
+		res.Lambda = append(res.Lambda, lambdaSeries)
+	}
+	return res, nil
+}
+
+// Print renders the three sweep panels per dataset.
+func (r Fig3Result) Print(w io.Writer) {
+	fmt.Fprintln(w, "Figure 3: privacy hyper-parameter sweeps (NDCG@20 / attack F1)")
+	panels := []struct {
+		name   string
+		series [][]SweepPoint
+	}{
+		{"beta range", r.Beta}, {"gamma range", r.Gamma}, {"lambda", r.Lambda},
+	}
+	for di, dname := range r.Datasets {
+		fmt.Fprintf(w, "  dataset %s\n", dname)
+		for _, panel := range panels {
+			fmt.Fprintf(w, "    %-12s:", panel.name)
+			for _, pt := range panel.series[di] {
+				fmt.Fprintf(w, "  %s N=%.4f F1=%.3f", pt.Label, pt.NDCG, pt.F1)
+			}
+			fmt.Fprintln(w)
+		}
+	}
+}
+
+// --------------------------------------------------------------- Figure 4
+
+// Fig4Result holds the α sweep (size of D̃ᵢ) per dataset.
+type Fig4Result struct {
+	Datasets []string
+	Alphas   []int
+	NDCG     [][]float64 // [dataset][alpha]
+}
+
+// RunFig4 sweeps α ∈ {10,30,50,70,90} (server: NGCF).
+func RunFig4(o Options) (Fig4Result, error) {
+	res := Fig4Result{Alphas: []int{10, 30, 50, 70, 90}}
+	for _, p := range o.Profiles() {
+		res.Datasets = append(res.Datasets, p.Name)
+		sp := o.split(p)
+		var series []float64
+		for _, a := range res.Alphas {
+			o.logf("fig4: %s alpha=%d\n", p.Name, a)
+			h, _, err := o.runPTF(sp, models.KindNGCF, func(c *fed.Config) {
+				c.Alpha = a
+			})
+			if err != nil {
+				return res, fmt.Errorf("fig4 alpha=%d on %s: %w", a, p.Name, err)
+			}
+			series = append(series, h.Final.NDCG)
+		}
+		res.NDCG = append(res.NDCG, series)
+	}
+	return res, nil
+}
+
+// Print renders the sweep.
+func (r Fig4Result) Print(w io.Writer) {
+	fmt.Fprintln(w, "Figure 4: impact of dispersed-set size α on NDCG@20")
+	for di, dname := range r.Datasets {
+		fmt.Fprintf(w, "  %-18s:", dname)
+		for ai, a := range r.Alphas {
+			fmt.Fprintf(w, "  α=%-3d %.4f", a, r.NDCG[di][ai])
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// --------------------------------------------- Extra ablation: server graph
+
+// AblationServerGraphResult sweeps the soft-positive threshold the server
+// uses to rebuild its graph from uploads — a design choice the paper leaves
+// open (DESIGN.md §3).
+type AblationServerGraphResult struct {
+	Thresholds []float64
+	NDCG       []float64
+}
+
+// RunAblationServerGraph sweeps the threshold on the MovieLens profile.
+func RunAblationServerGraph(o Options) (AblationServerGraphResult, error) {
+	res := AblationServerGraphResult{Thresholds: []float64{0.3, 0.5, 0.7}}
+	sp := o.split(o.Profiles()[0])
+	for _, th := range res.Thresholds {
+		o.logf("ablation-servergraph: threshold=%.1f\n", th)
+		h, _, err := o.runPTF(sp, models.KindLightGCN, func(c *fed.Config) {
+			c.GraphThreshold = th
+		})
+		if err != nil {
+			return res, err
+		}
+		res.NDCG = append(res.NDCG, h.Final.NDCG)
+	}
+	return res, nil
+}
+
+// Print renders the ablation.
+func (r AblationServerGraphResult) Print(w io.Writer) {
+	fmt.Fprintln(w, "Ablation: server graph soft-positive threshold (LightGCN server, NDCG@20)")
+	for i, th := range r.Thresholds {
+		fmt.Fprintf(w, "  threshold %.1f: %.4f\n", th, r.NDCG[i])
+	}
+}
+
+// ------------------------------------------- Extra ablation: noise frontier
+
+// AblationNoiseResult compares the privacy/utility frontier of swap noise
+// (λ sweep) against Laplace noise (scale sweep) on one dataset.
+type AblationNoiseResult struct {
+	SwapPoints    []SweepPoint // varying λ
+	LaplacePoints []SweepPoint // varying scale
+}
+
+// RunAblationNoise traces both frontiers on the MovieLens profile.
+func RunAblationNoise(o Options) (AblationNoiseResult, error) {
+	res := AblationNoiseResult{}
+	sp := o.split(o.Profiles()[0])
+	for _, l := range []float64{0.05, 0.1, 0.2, 0.4} {
+		o.logf("ablation-noise: swap lambda=%.2f\n", l)
+		h, _, err := o.runPTF(sp, models.KindNGCF, func(c *fed.Config) {
+			c.Privacy.Defense = privacy.DefenseSamplingSwap
+			c.Privacy.Lambda = l
+		})
+		if err != nil {
+			return res, err
+		}
+		res.SwapPoints = append(res.SwapPoints, SweepPoint{
+			Label: fmt.Sprintf("λ=%.2f", l), NDCG: h.Final.NDCG, F1: lateRoundAttackF1(h),
+		})
+	}
+	for _, s := range []float64{0.1, 0.25, 0.5, 1.0} {
+		o.logf("ablation-noise: laplace scale=%.2f\n", s)
+		h, _, err := o.runPTF(sp, models.KindNGCF, func(c *fed.Config) {
+			c.Privacy.Defense = privacy.DefenseLDP
+			c.Privacy.LaplaceScale = s
+		})
+		if err != nil {
+			return res, err
+		}
+		res.LaplacePoints = append(res.LaplacePoints, SweepPoint{
+			Label: fmt.Sprintf("b=%.2f", s), NDCG: h.Final.NDCG, F1: lateRoundAttackF1(h),
+		})
+	}
+	return res, nil
+}
+
+// Print renders both frontiers.
+func (r AblationNoiseResult) Print(w io.Writer) {
+	fmt.Fprintln(w, "Ablation: swap vs Laplace privacy/utility frontier (NGCF server)")
+	fmt.Fprint(w, "  swap   :")
+	for _, p := range r.SwapPoints {
+		fmt.Fprintf(w, "  %s N=%.4f F1=%.3f", p.Label, p.NDCG, p.F1)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprint(w, "  laplace:")
+	for _, p := range r.LaplacePoints {
+		fmt.Fprintf(w, "  %s N=%.4f F1=%.3f", p.Label, p.NDCG, p.F1)
+	}
+	fmt.Fprintln(w)
+}

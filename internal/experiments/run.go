@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+)
+
+// Run executes one experiment by id and prints its result to w. It is the
+// entry point behind `ptfbench -exp <id>` and the root-level benchmarks.
+func Run(id string, o Options, w io.Writer) error {
+	switch id {
+	case "table2":
+		RunTable2(o).Print(w)
+	case "table3":
+		res, err := RunTable3(o)
+		if err != nil {
+			return err
+		}
+		res.Print(w)
+	case "table4":
+		res, err := RunTable4(o)
+		if err != nil {
+			return err
+		}
+		res.Print(w)
+	case "table5":
+		res, err := RunTable5(o)
+		if err != nil {
+			return err
+		}
+		res.Print(w)
+	case "table6":
+		t5, err := RunTable5(o)
+		if err != nil {
+			return err
+		}
+		DeriveTable6(t5).Print(w)
+	case "table7":
+		res, err := RunTable7(o)
+		if err != nil {
+			return err
+		}
+		res.Print(w)
+	case "table8":
+		res, err := RunTable8(o)
+		if err != nil {
+			return err
+		}
+		res.Print(w)
+	case "fig3":
+		res, err := RunFig3(o)
+		if err != nil {
+			return err
+		}
+		res.Print(w)
+	case "fig4":
+		res, err := RunFig4(o)
+		if err != nil {
+			return err
+		}
+		res.Print(w)
+	case "ablation-servergraph":
+		res, err := RunAblationServerGraph(o)
+		if err != nil {
+			return err
+		}
+		res.Print(w)
+	case "ablation-noise":
+		res, err := RunAblationNoise(o)
+		if err != nil {
+			return err
+		}
+		res.Print(w)
+	default:
+		return fmt.Errorf("experiments: unknown experiment %q (known: %v)", id, ExperimentIDs)
+	}
+	return nil
+}

@@ -1,0 +1,430 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"ptffedrec/internal/comm"
+	"ptffedrec/internal/data"
+	"ptffedrec/internal/fed"
+	"ptffedrec/internal/models"
+	"ptffedrec/internal/privacy"
+)
+
+// ---------------------------------------------------------------- Table II
+
+// Table2Result holds the dataset statistics rows.
+type Table2Result struct {
+	Stats []data.Stats
+}
+
+// RunTable2 regenerates the dataset statistics table.
+func RunTable2(o Options) Table2Result {
+	var res Table2Result
+	for _, p := range o.Profiles() {
+		d := data.Generate(p, o.Seed)
+		res.Stats = append(res.Stats, d.Stats())
+	}
+	return res
+}
+
+// Print renders the table.
+func (r Table2Result) Print(w io.Writer) {
+	fmt.Fprintln(w, "Table II: dataset statistics")
+	for _, s := range r.Stats {
+		fmt.Fprintf(w, "  %s\n", s)
+	}
+}
+
+// --------------------------------------------------------------- Table III
+
+// Table3Row is one method's metrics across the datasets.
+type Table3Row struct {
+	Method string
+	Cells  []Cell // aligned with Datasets
+}
+
+// Table3Result mirrors the paper's main effectiveness comparison.
+type Table3Result struct {
+	Datasets []string
+	Rows     []Table3Row
+}
+
+// RunTable3 trains every centralized, baseline and PTF-FedRec configuration
+// on every dataset.
+func RunTable3(o Options) (Table3Result, error) {
+	res := Table3Result{}
+	splits := map[string]*data.Split{}
+	for _, p := range o.Profiles() {
+		res.Datasets = append(res.Datasets, p.Name)
+		splits[p.Name] = o.split(p)
+	}
+
+	addRow := func(method string, run func(sp *data.Split) (Cell, error)) error {
+		row := Table3Row{Method: method}
+		for _, name := range res.Datasets {
+			o.logf("table3: %s / %s\n", method, name)
+			c, err := run(splits[name])
+			if err != nil {
+				return fmt.Errorf("table3 %s on %s: %w", method, name, err)
+			}
+			row.Cells = append(row.Cells, c)
+		}
+		res.Rows = append(res.Rows, row)
+		return nil
+	}
+
+	for _, kind := range []models.Kind{models.KindNeuMF, models.KindNGCF, models.KindLightGCN} {
+		kind := kind
+		if err := addRow("Central-"+string(kind), func(sp *data.Split) (Cell, error) {
+			r, err := o.runCentral(sp, kind)
+			return Cell{r.Recall, r.NDCG}, err
+		}); err != nil {
+			return res, err
+		}
+	}
+	for _, b := range []string{"FCF", "FedMF", "MetaMF"} {
+		b := b
+		if err := addRow(b, func(sp *data.Split) (Cell, error) {
+			r, _, err := o.runBaseline(sp, b)
+			return Cell{r.Recall, r.NDCG}, err
+		}); err != nil {
+			return res, err
+		}
+	}
+	for _, kind := range []models.Kind{models.KindNeuMF, models.KindNGCF, models.KindLightGCN} {
+		kind := kind
+		if err := addRow("PTF-FedRec("+string(kind)+")", func(sp *data.Split) (Cell, error) {
+			h, _, err := o.runPTF(sp, kind, nil)
+			if err != nil {
+				return Cell{}, err
+			}
+			return Cell{h.Final.Recall, h.Final.NDCG}, nil
+		}); err != nil {
+			return res, err
+		}
+	}
+	return res, nil
+}
+
+// Print renders the table in the paper's layout.
+func (r Table3Result) Print(w io.Writer) {
+	fmt.Fprintln(w, "Table III: recommendation performance (Recall@20 / NDCG@20)")
+	fmt.Fprintf(w, "  %-24s", "method")
+	for _, d := range r.Datasets {
+		fmt.Fprintf(w, " | %-17s", d)
+	}
+	fmt.Fprintln(w)
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "  %-24s", row.Method)
+		for _, c := range row.Cells {
+			fmt.Fprintf(w, " | %.4f / %.4f ", c.Recall, c.NDCG)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// ---------------------------------------------------------------- Table IV
+
+// Table4Row is one method's average per-client per-round bytes per dataset.
+type Table4Row struct {
+	Method string
+	Bytes  []float64
+}
+
+// Table4Result mirrors the communication-cost comparison.
+type Table4Result struct {
+	Datasets []string
+	Rows     []Table4Row
+}
+
+// RunTable4 measures communication for the three baselines and PTF-FedRec.
+// PTF-FedRec's costs are identical across server models (only predictions
+// travel), so a single row is reported, as in the paper.
+func RunTable4(o Options) (Table4Result, error) {
+	res := Table4Result{}
+	rows := map[string]*Table4Row{}
+	for _, m := range []string{"FCF", "FedMF", "MetaMF", "PTF-FedRec"} {
+		rows[m] = &Table4Row{Method: m}
+	}
+	for _, p := range o.Profiles() {
+		res.Datasets = append(res.Datasets, p.Name)
+		sp := o.split(p)
+		for _, b := range []string{"FCF", "FedMF", "MetaMF"} {
+			o.logf("table4: %s / %s\n", b, p.Name)
+			_, bytes, err := o.runBaseline(sp, b)
+			if err != nil {
+				return res, fmt.Errorf("table4 %s on %s: %w", b, p.Name, err)
+			}
+			rows[b].Bytes = append(rows[b].Bytes, bytes)
+		}
+		o.logf("table4: PTF-FedRec / %s\n", p.Name)
+		_, tr, err := o.runPTF(sp, models.KindNeuMF, nil)
+		if err != nil {
+			return res, fmt.Errorf("table4 ptf on %s: %w", p.Name, err)
+		}
+		rows["PTF-FedRec"].Bytes = append(rows["PTF-FedRec"].Bytes, tr.Meter().AvgPerClientPerRound())
+	}
+	for _, m := range []string{"FCF", "FedMF", "MetaMF", "PTF-FedRec"} {
+		res.Rows = append(res.Rows, *rows[m])
+	}
+	return res, nil
+}
+
+// Print renders the table.
+func (r Table4Result) Print(w io.Writer) {
+	fmt.Fprintln(w, "Table IV: average communication cost per client per round")
+	fmt.Fprintf(w, "  %-12s", "method")
+	for _, d := range r.Datasets {
+		fmt.Fprintf(w, " | %-16s", d)
+	}
+	fmt.Fprintln(w)
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "  %-12s", row.Method)
+		for _, b := range row.Bytes {
+			fmt.Fprintf(w, " | %-16s", comm.FormatBytes(b))
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// ----------------------------------------------------------------- Table V
+
+// Table5Row is one defense's attack F1 and model NDCG per dataset.
+type Table5Row struct {
+	Defense string
+	F1      []float64
+	NDCG    []float64
+}
+
+// Table5Result mirrors the privacy-mechanism comparison (server: NGCF).
+type Table5Result struct {
+	Datasets []string
+	Rows     []Table5Row
+}
+
+// RunTable5 runs PTF-FedRec(NGCF) under each defense and measures both the
+// Top Guess Attack and the recommendation quality.
+func RunTable5(o Options) (Table5Result, error) {
+	res := Table5Result{}
+	defenses := []privacy.Defense{
+		privacy.DefenseNone, privacy.DefenseLDP,
+		privacy.DefenseSampling, privacy.DefenseSamplingSwap,
+	}
+	splits := map[string]*data.Split{}
+	for _, p := range o.Profiles() {
+		res.Datasets = append(res.Datasets, p.Name)
+		splits[p.Name] = o.split(p)
+	}
+	for _, d := range defenses {
+		row := Table5Row{Defense: string(d)}
+		for _, name := range res.Datasets {
+			o.logf("table5: %s / %s\n", d, name)
+			h, _, err := o.runPTF(splits[name], models.KindNGCF, func(c *fed.Config) {
+				c.Privacy.Defense = d
+			})
+			if err != nil {
+				return res, fmt.Errorf("table5 %s on %s: %w", d, name, err)
+			}
+			// The attack is scored on late-round uploads, once local models
+			// actually order positives above negatives.
+			row.F1 = append(row.F1, lateRoundAttackF1(h))
+			row.NDCG = append(row.NDCG, h.Final.NDCG)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// lateRoundAttackF1 averages the attack over the second half of training.
+func lateRoundAttackF1(h *fed.History) float64 {
+	if len(h.Rounds) == 0 {
+		return 0
+	}
+	start := len(h.Rounds) / 2
+	var sum float64
+	for _, rs := range h.Rounds[start:] {
+		sum += rs.AttackF1
+	}
+	return sum / float64(len(h.Rounds)-start)
+}
+
+// Print renders the table.
+func (r Table5Result) Print(w io.Writer) {
+	fmt.Fprintln(w, "Table V: Top Guess Attack F1 (lower = better privacy) and NDCG@20")
+	fmt.Fprintf(w, "  %-15s", "defense")
+	for _, d := range r.Datasets {
+		fmt.Fprintf(w, " | %-17s", d)
+	}
+	fmt.Fprintln(w)
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "  %-15s", row.Defense)
+		for i := range row.F1 {
+			fmt.Fprintf(w, " | F1=%.3f N=%.4f", row.F1[i], row.NDCG[i])
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// ---------------------------------------------------------------- Table VI
+
+// Table6Result derives the ΔF1/ΔNDCG cost-effectiveness ratios from Table V.
+type Table6Result struct {
+	Datasets []string
+	Rows     []Table6RowT
+}
+
+// Table6RowT is one defense's ratio per dataset.
+type Table6RowT struct {
+	Defense string
+	Ratio   []float64
+}
+
+// DeriveTable6 computes ΔF1/ΔNDCG against the no-defense row; higher means
+// the defense buys more privacy per unit of lost utility.
+func DeriveTable6(t5 Table5Result) Table6Result {
+	res := Table6Result{Datasets: t5.Datasets}
+	var base *Table5Row
+	for i := range t5.Rows {
+		if t5.Rows[i].Defense == string(privacy.DefenseNone) {
+			base = &t5.Rows[i]
+		}
+	}
+	if base == nil {
+		return res
+	}
+	for _, row := range t5.Rows {
+		if row.Defense == string(privacy.DefenseNone) {
+			continue
+		}
+		out := Table6RowT{Defense: row.Defense}
+		for i := range row.F1 {
+			dF1 := base.F1[i] - row.F1[i]
+			dN := base.NDCG[i] - row.NDCG[i]
+			if dN <= 1e-9 {
+				dN = 1e-9 // defense cost ≈ free; report a large ratio
+			}
+			out.Ratio = append(out.Ratio, dF1/dN)
+		}
+		res.Rows = append(res.Rows, out)
+	}
+	return res
+}
+
+// Print renders the table.
+func (r Table6Result) Print(w io.Writer) {
+	fmt.Fprintln(w, "Table VI: defense cost-effectiveness ΔF1/ΔNDCG (higher is better)")
+	fmt.Fprintf(w, "  %-15s", "defense")
+	for _, d := range r.Datasets {
+		fmt.Fprintf(w, " | %-14s", d)
+	}
+	fmt.Fprintln(w)
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "  %-15s", row.Defense)
+		for _, v := range row.Ratio {
+			fmt.Fprintf(w, " | %-14.1f", v)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// --------------------------------------------------------------- Table VII
+
+// Table7Result is the D̃ᵢ-construction ablation.
+type Table7Result struct {
+	Datasets []string
+	Rows     []Table3Row // same cell shape as Table III
+}
+
+// RunTable7 compares the dispersal strategies (server: NGCF).
+func RunTable7(o Options) (Table7Result, error) {
+	res := Table7Result{}
+	splits := map[string]*data.Split{}
+	for _, p := range o.Profiles() {
+		res.Datasets = append(res.Datasets, p.Name)
+		splits[p.Name] = o.split(p)
+	}
+	for _, mode := range []fed.DisperseMode{
+		fed.DisperseConfHard, fed.DisperseNoHard, fed.DisperseNoConf, fed.DisperseAllRandom,
+	} {
+		row := Table3Row{Method: string(mode)}
+		for _, name := range res.Datasets {
+			o.logf("table7: %s / %s\n", mode, name)
+			h, _, err := o.runPTF(splits[name], models.KindNGCF, func(c *fed.Config) {
+				c.Disperse = mode
+			})
+			if err != nil {
+				return res, fmt.Errorf("table7 %s on %s: %w", mode, name, err)
+			}
+			row.Cells = append(row.Cells, Cell{h.Final.Recall, h.Final.NDCG})
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Print renders the table.
+func (r Table7Result) Print(w io.Writer) {
+	fmt.Fprintln(w, "Table VII: D̃ᵢ item-selection ablation (Recall@20 / NDCG@20)")
+	fmt.Fprintf(w, "  %-18s", "strategy")
+	for _, d := range r.Datasets {
+		fmt.Fprintf(w, " | %-17s", d)
+	}
+	fmt.Fprintln(w)
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "  %-18s", row.Method)
+		for _, c := range row.Cells {
+			fmt.Fprintf(w, " | %.4f / %.4f ", c.Recall, c.NDCG)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// -------------------------------------------------------------- Table VIII
+
+// Table8Result is the client×server model-combination matrix (NDCG@20) on
+// the MovieLens profile.
+type Table8Result struct {
+	ClientKinds []models.Kind
+	ServerKinds []models.Kind
+	NDCG        [][]float64 // [client][server]
+}
+
+// RunTable8 trains every client/server model combination.
+func RunTable8(o Options) (Table8Result, error) {
+	kinds := []models.Kind{models.KindNeuMF, models.KindNGCF, models.KindLightGCN}
+	res := Table8Result{ClientKinds: kinds, ServerKinds: kinds}
+	sp := o.split(o.Profiles()[0]) // MovieLens profile
+	for _, ck := range kinds {
+		row := make([]float64, 0, len(kinds))
+		for _, sk := range kinds {
+			o.logf("table8: client=%s server=%s\n", ck, sk)
+			h, _, err := o.runPTF(sp, sk, func(c *fed.Config) {
+				c.ClientModel = ck
+			})
+			if err != nil {
+				return res, fmt.Errorf("table8 %s/%s: %w", ck, sk, err)
+			}
+			row = append(row, h.Final.NDCG)
+		}
+		res.NDCG = append(res.NDCG, row)
+	}
+	return res, nil
+}
+
+// Print renders the matrix.
+func (r Table8Result) Print(w io.Writer) {
+	fmt.Fprintln(w, "Table VIII: NDCG@20 for client×server model combinations (MovieLens profile)")
+	fmt.Fprintf(w, "  %-14s", "client\\server")
+	for _, sk := range r.ServerKinds {
+		fmt.Fprintf(w, " | %-9s", sk)
+	}
+	fmt.Fprintln(w)
+	for i, ck := range r.ClientKinds {
+		fmt.Fprintf(w, "  %-14s", ck)
+		for _, v := range r.NDCG[i] {
+			fmt.Fprintf(w, " | %-9.4f", v)
+		}
+		fmt.Fprintln(w)
+	}
+}

@@ -1,0 +1,22 @@
+package fed
+
+// FaultPlan injects the failure modes a real federated deployment sees, so
+// the protocol's robustness can be tested: clients that drop out mid-round
+// (no upload arrives) and uploads that are truncated in transit. The zero
+// value injects nothing.
+//
+// PTF-FedRec tolerates both by construction — the server trains on whatever
+// predictions arrive, and dispersal only targets responders — but the tests
+// in faults_test.go pin that behaviour down.
+type FaultPlan struct {
+	// DropoutRate is the probability a selected client fails before
+	// uploading (device offline, app killed). Dropped clients receive no
+	// dispersal this round.
+	DropoutRate float64
+	// TruncateRate is the probability an upload loses its second half in
+	// transit (flaky link, timeout); the server trains on the prefix.
+	TruncateRate float64
+}
+
+// enabled reports whether the plan injects any faults.
+func (f FaultPlan) enabled() bool { return f.DropoutRate > 0 || f.TruncateRate > 0 }

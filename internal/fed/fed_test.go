@@ -1,0 +1,368 @@
+package fed
+
+import (
+	"math"
+	"testing"
+
+	"ptffedrec/internal/data"
+	"ptffedrec/internal/models"
+	"ptffedrec/internal/privacy"
+	"ptffedrec/internal/rng"
+)
+
+// tinySplit builds a deterministic small dataset for protocol tests.
+func tinySplit(t *testing.T) *data.Split {
+	t.Helper()
+	d := data.Generate(data.Tiny, 42)
+	return d.Split(rng.New(1), 0.2)
+}
+
+// fastConfig shrinks the paper's defaults so integration tests run quickly.
+func fastConfig(server models.Kind) Config {
+	cfg := DefaultConfig(server)
+	cfg.Rounds = 3
+	cfg.ClientEpochs = 2
+	cfg.ServerEpochs = 1
+	cfg.Dim = 8
+	cfg.Alpha = 10
+	cfg.LR = 5e-3
+	cfg.Workers = 4
+	return cfg
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := DefaultConfig(models.KindNGCF)
+	if err := good.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := []func(*Config){
+		func(c *Config) { c.Rounds = 0 },
+		func(c *Config) { c.ClientFraction = 0 },
+		func(c *Config) { c.ClientFraction = 1.5 },
+		func(c *Config) { c.ClientEpochs = 0 },
+		func(c *Config) { c.ClientBatch = 0 },
+		func(c *Config) { c.NegRatio = 0 },
+		func(c *Config) { c.Dim = 0 },
+		func(c *Config) { c.Alpha = -1 },
+		func(c *Config) { c.Mu = 2 },
+		func(c *Config) { c.GraphThreshold = -0.1 },
+		func(c *Config) { c.EvalK = 0 },
+		func(c *Config) { c.Disperse = "bogus" },
+		func(c *Config) { c.Privacy.Defense = "bogus" },
+	}
+	for i, mutate := range bad {
+		c := DefaultConfig(models.KindNGCF)
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Fatalf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestParseDisperseMode(t *testing.T) {
+	for _, s := range []string{"conf+hard", "-hard", "-confidence", "-confidence-hard"} {
+		if _, ok := ParseDisperseMode(s); !ok {
+			t.Fatalf("ParseDisperseMode(%q) failed", s)
+		}
+	}
+	if _, ok := ParseDisperseMode("x"); ok {
+		t.Fatal("bad mode accepted")
+	}
+}
+
+func TestTrainerEndToEndNeuMFServer(t *testing.T) {
+	sp := tinySplit(t)
+	cfg := fastConfig(models.KindNeuMF)
+	tr, err := NewTrainer(sp, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := tr.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Rounds) != cfg.Rounds {
+		t.Fatalf("rounds = %d", len(h.Rounds))
+	}
+	for _, rs := range h.Rounds {
+		if rs.Participants != sp.NumUsers {
+			t.Fatalf("round %d participants = %d, want all %d", rs.Round, rs.Participants, sp.NumUsers)
+		}
+		if rs.UploadBytes <= 0 || rs.DispersBytes <= 0 {
+			t.Fatalf("round %d has zero traffic: %+v", rs.Round, rs)
+		}
+		if math.IsNaN(rs.ClientLoss) || math.IsNaN(rs.ServerLoss) {
+			t.Fatalf("round %d loss NaN", rs.Round)
+		}
+	}
+	if h.Final.Users == 0 {
+		t.Fatal("final evaluation saw no users")
+	}
+	if h.Final.Recall < 0 || h.Final.Recall > 1 || h.Final.NDCG < 0 || h.Final.NDCG > 1 {
+		t.Fatalf("final metrics out of range: %+v", h.Final)
+	}
+}
+
+func TestTrainerGraphServerModels(t *testing.T) {
+	sp := tinySplit(t)
+	for _, kind := range []models.Kind{models.KindNGCF, models.KindLightGCN} {
+		cfg := fastConfig(kind)
+		cfg.Rounds = 2
+		tr, err := NewTrainer(sp, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tr.Run(); err != nil {
+			t.Fatalf("%s server: %v", kind, err)
+		}
+		// Server graph must have absorbed soft-positive edges.
+		if got := len(tr.Server().latestUpload); got == 0 {
+			t.Fatalf("%s server saw no uploads", kind)
+		}
+	}
+}
+
+func TestServerLearnsCollaborativeSignal(t *testing.T) {
+	// After training, the server model should rank held-out items better
+	// than random. Random Recall@20 on 60 items ≈ 20/60 per relevant item,
+	// so demand NDCG strictly above a weak floor.
+	sp := tinySplit(t)
+	cfg := fastConfig(models.KindNeuMF)
+	cfg.Rounds = 6
+	tr, err := NewTrainer(sp, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := tr.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := h.Rounds[0].ServerLoss
+	last := h.Rounds[len(h.Rounds)-1].ServerLoss
+	if last >= first {
+		t.Fatalf("server loss did not decrease: %v -> %v", first, last)
+	}
+}
+
+func TestDispersalRespectsUploadExclusion(t *testing.T) {
+	sp := tinySplit(t)
+	cfg := fastConfig(models.KindNeuMF)
+	tr, err := NewTrainer(sp, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.RunRound(0)
+	for _, c := range tr.Clients() {
+		for _, p := range c.ServerData() {
+			if c.lastUpload[p.Item] {
+				t.Fatalf("client %d: dispersed item %d was in its upload", c.ID, p.Item)
+			}
+			if p.Score < 0 || p.Score > 1 {
+				t.Fatalf("dispersed score %v out of range", p.Score)
+			}
+		}
+		if len(c.ServerData()) == 0 {
+			t.Fatalf("client %d received no dispersal", c.ID)
+		}
+		if len(c.ServerData()) > cfg.Alpha {
+			t.Fatalf("client %d received %d items, alpha=%d", c.ID, len(c.ServerData()), cfg.Alpha)
+		}
+	}
+}
+
+func TestDisperseModes(t *testing.T) {
+	sp := tinySplit(t)
+	for _, mode := range []DisperseMode{DisperseConfHard, DisperseNoHard, DisperseNoConf, DisperseAllRandom} {
+		cfg := fastConfig(models.KindNeuMF)
+		cfg.Rounds = 1
+		cfg.Disperse = mode
+		tr, err := NewTrainer(sp, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr.RunRound(0)
+		for _, c := range tr.Clients()[:3] {
+			if len(c.ServerData()) == 0 {
+				t.Fatalf("mode %s: no dispersal", mode)
+			}
+		}
+	}
+}
+
+func TestConfidenceSelectionPrefersFrequentItems(t *testing.T) {
+	sp := tinySplit(t)
+	cfg := fastConfig(models.KindNeuMF)
+	cfg.Mu = 1.0 // dispersal is purely confidence-based
+	tr, err := NewTrainer(sp, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.RunRound(0)
+	c := tr.Clients()[0]
+	if len(c.ServerData()) == 0 {
+		t.Fatal("no dispersal")
+	}
+	// Dispersed items should have frequency >= the median eligible item.
+	freqs := make([]int, 0)
+	for v := 0; v < sp.NumItems; v++ {
+		if !c.lastUpload[v] {
+			freqs = append(freqs, tr.Server().ItemFrequency(v))
+		}
+	}
+	var sum int
+	for _, f := range freqs {
+		sum += f
+	}
+	meanFreq := float64(sum) / float64(len(freqs))
+	var dispersedMean float64
+	for _, p := range c.ServerData() {
+		dispersedMean += float64(tr.Server().ItemFrequency(p.Item))
+	}
+	dispersedMean /= float64(len(c.ServerData()))
+	if dispersedMean < meanFreq {
+		t.Fatalf("confidence selection not frequency-biased: dispersed %.2f vs mean %.2f", dispersedMean, meanFreq)
+	}
+}
+
+func TestAttackF1OrderingAcrossDefenses(t *testing.T) {
+	// The core privacy claim (Table V): no-defense leaks nearly everything,
+	// sampling+swap leaks far less.
+	// Once local models are trained enough to order positives above
+	// negatives, an unprotected upload leaks them to the top-guess server.
+	sp := tinySplit(t)
+	run := func(d privacy.Defense) float64 {
+		cfg := fastConfig(models.KindNeuMF)
+		cfg.Rounds = 4
+		cfg.ClientEpochs = 10
+		cfg.ClientBatch = 16
+		cfg.LR = 0.01
+		cfg.Privacy.Defense = d
+		tr, err := NewTrainer(sp, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, err := tr.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return h.Rounds[len(h.Rounds)-1].AttackF1
+	}
+	none := run(privacy.DefenseNone)
+	swap := run(privacy.DefenseSamplingSwap)
+	if none < 0.7 {
+		t.Fatalf("no-defense attack F1 = %v, want high (ordering leak)", none)
+	}
+	if swap >= none-0.2 {
+		t.Fatalf("sampling+swap F1 %v not clearly below none %v", swap, none)
+	}
+}
+
+func TestCommunicationIsKilobytes(t *testing.T) {
+	// PTF-FedRec's headline: per-client per-round traffic is KB, not MB.
+	sp := tinySplit(t)
+	cfg := fastConfig(models.KindNeuMF)
+	tr, err := NewTrainer(sp, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Run(); err != nil {
+		t.Fatal(err)
+	}
+	avg := tr.Meter().AvgPerClientPerRound()
+	if avg <= 0 {
+		t.Fatal("no traffic recorded")
+	}
+	if avg > 64*1024 {
+		t.Fatalf("avg per-client per-round = %v bytes, want well under 64KB", avg)
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	sp := tinySplit(t)
+	cfg := fastConfig(models.KindNeuMF)
+	cfg.Rounds = 2
+	cfg.Workers = 3 // parallelism must not break determinism
+	run := func() *History {
+		tr, err := NewTrainer(sp, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, err := tr.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return h
+	}
+	a, b := run(), run()
+	if a.Final.Recall != b.Final.Recall || a.Final.NDCG != b.Final.NDCG {
+		t.Fatalf("non-deterministic final metrics: %+v vs %+v", a.Final, b.Final)
+	}
+	for i := range a.Rounds {
+		if a.Rounds[i].UploadBytes != b.Rounds[i].UploadBytes {
+			t.Fatalf("round %d bytes differ", i)
+		}
+		if math.Abs(a.Rounds[i].ServerLoss-b.Rounds[i].ServerLoss) > 1e-12 {
+			t.Fatalf("round %d server loss differs", i)
+		}
+	}
+}
+
+func TestClientFractionSelectsSubset(t *testing.T) {
+	sp := tinySplit(t)
+	cfg := fastConfig(models.KindNeuMF)
+	cfg.ClientFraction = 0.25
+	tr, err := NewTrainer(sp, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := tr.RunRound(0)
+	want := int(0.25 * float64(sp.NumUsers))
+	if rs.Participants != want {
+		t.Fatalf("participants = %d, want %d", rs.Participants, want)
+	}
+}
+
+func TestEvaluateClients(t *testing.T) {
+	sp := tinySplit(t)
+	cfg := fastConfig(models.KindNeuMF)
+	cfg.Rounds = 2
+	tr, err := NewTrainer(sp, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Run(); err != nil {
+		t.Fatal(err)
+	}
+	res := tr.EvaluateClients()
+	if res.Users == 0 {
+		t.Fatal("client evaluation saw no users")
+	}
+	if res.Recall < 0 || res.Recall > 1 {
+		t.Fatalf("client recall = %v", res.Recall)
+	}
+}
+
+func TestTableVIIIClientModelCombos(t *testing.T) {
+	// Graph models as *clients* (one-hop local graphs).
+	sp := tinySplit(t)
+	for _, ck := range []models.Kind{models.KindNGCF, models.KindLightGCN} {
+		cfg := fastConfig(models.KindNeuMF)
+		cfg.Rounds = 1
+		cfg.ClientModel = ck
+		tr, err := NewTrainer(sp, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rs := tr.RunRound(0)
+		if math.IsNaN(rs.ClientLoss) || rs.ClientLoss == 0 {
+			t.Fatalf("client model %s produced loss %v", ck, rs.ClientLoss)
+		}
+	}
+}
+
+func TestRoundStatsString(t *testing.T) {
+	rs := RoundStats{Round: 1, Participants: 5, Evaluated: true, Recall: 0.1, NDCG: 0.2}
+	if rs.String() == "" {
+		t.Fatal("empty stats string")
+	}
+}

@@ -1,0 +1,57 @@
+package fed
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// WriteJSON serialises the run history (round trace + final metrics) for
+// offline analysis and plotting.
+func (h *History) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(h); err != nil {
+		return fmt.Errorf("fed: encode history: %w", err)
+	}
+	return nil
+}
+
+// ReadHistoryJSON parses a history previously written with WriteJSON.
+func ReadHistoryJSON(r io.Reader) (*History, error) {
+	var h History
+	if err := json.NewDecoder(r).Decode(&h); err != nil {
+		return nil, fmt.Errorf("fed: decode history: %w", err)
+	}
+	return &h, nil
+}
+
+// BestRound returns the evaluated round with the highest NDCG, or -1 if no
+// round was evaluated (EvalEvery = 0).
+func (h *History) BestRound() int {
+	best, bestNDCG := -1, -1.0
+	for _, rs := range h.Rounds {
+		if rs.Evaluated && rs.NDCG > bestNDCG {
+			best, bestNDCG = rs.Round, rs.NDCG
+		}
+	}
+	return best
+}
+
+// TotalUploadBytes sums the client→server traffic across rounds.
+func (h *History) TotalUploadBytes() int64 {
+	var t int64
+	for _, rs := range h.Rounds {
+		t += rs.UploadBytes
+	}
+	return t
+}
+
+// TotalDisperseBytes sums the server→client traffic across rounds.
+func (h *History) TotalDisperseBytes() int64 {
+	var t int64
+	for _, rs := range h.Rounds {
+		t += rs.DispersBytes
+	}
+	return t
+}

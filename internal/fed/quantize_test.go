@@ -1,0 +1,67 @@
+package fed
+
+import (
+	"math"
+	"testing"
+
+	"ptffedrec/internal/models"
+)
+
+func TestQuantizedRunReducesTraffic(t *testing.T) {
+	sp := tinySplit(t)
+	base := fastConfig(models.KindNeuMF)
+	base.Rounds = 2
+
+	plain, err := NewTrainer(sp, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hPlain, err := plain.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	q := base
+	q.QuantizeScores = true
+	quant, err := NewTrainer(sp, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hQuant, err := quant.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// 9/12 of the float32 traffic, exactly.
+	ratio := float64(hQuant.TotalUploadBytes()) / float64(hPlain.TotalUploadBytes())
+	if math.Abs(ratio-0.75) > 1e-9 {
+		t.Fatalf("quantized/plain upload ratio = %v, want 0.75", ratio)
+	}
+	if hQuant.TotalDisperseBytes() >= hPlain.TotalDisperseBytes() {
+		t.Fatal("quantization did not shrink dispersal")
+	}
+	// Quality must survive 8-bit scores.
+	if hQuant.Final.Users == 0 {
+		t.Fatal("quantized run evaluated no users")
+	}
+}
+
+func TestQuantizedScoresOnGrid(t *testing.T) {
+	sp := tinySplit(t)
+	cfg := fastConfig(models.KindNeuMF)
+	cfg.Rounds = 1
+	cfg.QuantizeScores = true
+	tr, err := NewTrainer(sp, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.RunRound(0)
+	for _, c := range tr.Clients() {
+		for _, p := range c.ServerData() {
+			scaled := p.Score * 255
+			if math.Abs(scaled-math.Round(scaled)) > 1e-6 {
+				t.Fatalf("dispersed score %v not on the 1/255 grid", p.Score)
+			}
+		}
+	}
+}

@@ -1,0 +1,249 @@
+package fed
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"ptffedrec/internal/comm"
+	"ptffedrec/internal/graph"
+	"ptffedrec/internal/models"
+	"ptffedrec/internal/rng"
+)
+
+// Server owns the provider's hidden model. Nothing about it — architecture,
+// parameters, optimizer — ever leaves this struct; the only outputs are
+// prediction scores.
+type Server struct {
+	model models.Recommender
+	cfg   *Config
+	s     *rng.Stream
+
+	numUsers, numItems int
+
+	// itemFreq counts how many uploaded triples touched each item — the
+	// embedding-update-frequency confidence measure of Eq. 9.
+	itemFreq []int
+
+	// latestUpload keeps each user's most recent D̂ᵗᵢ; the union is the
+	// server's entire view of the interaction structure, from which it
+	// rebuilds its graph every round.
+	latestUpload map[int][]comm.Prediction
+}
+
+// newServer builds the hidden server model.
+func newServer(numUsers, numItems int, cfg *Config, parent *rng.Stream) (*Server, error) {
+	mcfg := models.Config{
+		NumUsers: numUsers,
+		NumItems: numItems,
+		Dim:      cfg.Dim,
+		LR:       cfg.LR,
+		Layers:   cfg.Layers,
+		Seed:     cfg.Seed ^ 0xabcdef12345678,
+	}
+	m, err := models.New(cfg.ServerModel, mcfg)
+	if err != nil {
+		return nil, fmt.Errorf("fed: server: %w", err)
+	}
+	return &Server{
+		model:        m,
+		cfg:          cfg,
+		s:            parent.Derive("server"),
+		numUsers:     numUsers,
+		numItems:     numItems,
+		itemFreq:     make([]int, numItems),
+		latestUpload: map[int][]comm.Prediction{},
+	}, nil
+}
+
+// Model returns the server's recommender (the paper's Ms).
+func (sv *Server) Model() models.Recommender { return sv.model }
+
+// Snapshot persists the hidden model's parameters — the provider's actual
+// asset. The snapshot never travels through the protocol; it exists so the
+// provider can checkpoint and serve the model out-of-band.
+func (sv *Server) Snapshot(w io.Writer) error {
+	return sv.model.(models.Snapshotter).Snapshot(w)
+}
+
+// Restore loads a snapshot previously written by Snapshot into the hidden
+// model (same Config required).
+func (sv *Server) Restore(r io.Reader) error {
+	return sv.model.(models.Snapshotter).Restore(r)
+}
+
+// ItemFrequency returns the confidence counter for item v.
+func (sv *Server) ItemFrequency(v int) int { return sv.itemFreq[v] }
+
+// absorb ingests one round of uploads: updates confidence counters and the
+// per-user latest views.
+func (sv *Server) absorb(uploads [][]comm.Prediction) {
+	for _, up := range uploads {
+		if len(up) == 0 {
+			continue
+		}
+		for _, p := range up {
+			if p.Item >= 0 && p.Item < sv.numItems {
+				sv.itemFreq[p.Item]++
+			}
+		}
+		sv.latestUpload[up[0].User] = up
+	}
+}
+
+// rebuildGraph reconstructs the server's bipartite graph from every user's
+// latest upload. Soft-positive edges come either from an absolute score
+// threshold or, when GraphTopFrac is set, from each user's top-scored
+// fraction (robust to per-client calibration drift). Only graph server
+// models pay this cost.
+func (sv *Server) rebuildGraph() {
+	gm, ok := sv.model.(models.GraphRecommender)
+	if !ok {
+		return
+	}
+	g := graph.NewBipartite(sv.numUsers, sv.numItems)
+	for u, preds := range sv.latestUpload {
+		if sv.cfg.GraphTopFrac > 0 {
+			n := int(sv.cfg.GraphTopFrac*float64(len(preds)) + 0.5)
+			if n < 1 {
+				n = 1
+			}
+			order := make([]int, len(preds))
+			for i := range order {
+				order[i] = i
+			}
+			sort.SliceStable(order, func(a, b int) bool {
+				return preds[order[a]].Score > preds[order[b]].Score
+			})
+			for _, idx := range order[:n] {
+				w := preds[idx].Score
+				if w < 0.05 {
+					w = 0.05
+				}
+				g.AddEdge(u, preds[idx].Item, w)
+			}
+			continue
+		}
+		for _, p := range preds {
+			if p.Score >= sv.cfg.GraphThreshold {
+				g.AddEdge(u, p.Item, p.Score)
+			}
+		}
+	}
+	gm.SetGraph(g)
+}
+
+// train runs the server-side optimisation of Eq. 5 on the round's uploads.
+func (sv *Server) train(uploads [][]comm.Prediction) float64 {
+	var samples []models.Sample
+	for _, up := range uploads {
+		for _, p := range up {
+			samples = append(samples, models.Sample{User: p.User, Item: p.Item, Label: p.Score})
+		}
+	}
+	if len(samples) == 0 {
+		return 0
+	}
+	var loss float64
+	batches := 0
+	for e := 0; e < sv.cfg.ServerEpochs; e++ {
+		sv.s.Shuffle(len(samples), func(i, j int) { samples[i], samples[j] = samples[j], samples[i] })
+		for off := 0; off < len(samples); off += sv.cfg.ServerBatch {
+			end := off + sv.cfg.ServerBatch
+			if end > len(samples) {
+				end = len(samples)
+			}
+			loss += sv.model.TrainBatch(samples[off:end])
+			batches++
+		}
+	}
+	return loss / float64(batches)
+}
+
+// disperse builds D̃ᵢ for one client (Eq. 9): µα items by update-frequency
+// confidence plus (1−µ)α hard items by server score, all outside the client's
+// current upload, scored by the hidden model. The Table VII ablations replace
+// either half with uniformly random eligible items.
+func (sv *Server) disperse(c *Client) []comm.Prediction {
+	alpha := sv.cfg.Alpha
+	if alpha <= 0 {
+		return nil
+	}
+	eligible := make([]int, 0, sv.numItems)
+	for v := 0; v < sv.numItems; v++ {
+		if !c.lastUpload[v] {
+			eligible = append(eligible, v)
+		}
+	}
+	if len(eligible) == 0 {
+		return nil
+	}
+	nConf := int(sv.cfg.Mu * float64(alpha))
+	nHard := alpha - nConf
+
+	chosen := make(map[int]bool, alpha)
+	var items []int
+
+	confRandom := sv.cfg.Disperse == DisperseNoConf || sv.cfg.Disperse == DisperseAllRandom
+	hardRandom := sv.cfg.Disperse == DisperseNoHard || sv.cfg.Disperse == DisperseAllRandom
+
+	pick := func(ranked []int, n int) {
+		for _, v := range ranked {
+			if n == 0 {
+				break
+			}
+			if chosen[v] {
+				continue
+			}
+			chosen[v] = true
+			items = append(items, v)
+			n--
+		}
+	}
+
+	// Confidence half: highest update frequency.
+	if nConf > 0 {
+		if confRandom {
+			pick(rng.SampleSlice(sv.s, eligible, min(len(eligible), nConf*2)), nConf)
+		} else {
+			ranked := append([]int(nil), eligible...)
+			sort.SliceStable(ranked, func(a, b int) bool {
+				return sv.itemFreq[ranked[a]] > sv.itemFreq[ranked[b]]
+			})
+			pick(ranked, nConf)
+		}
+	}
+
+	// Hard half: highest server-predicted score for this user.
+	if nHard > 0 {
+		if hardRandom {
+			pick(rng.SampleSlice(sv.s, eligible, min(len(eligible), nHard*3)), nHard)
+		} else {
+			scores := sv.model.ScoreItems(c.ID, eligible)
+			ranked := make([]int, len(eligible))
+			order := make([]int, len(eligible))
+			for i := range order {
+				order[i] = i
+			}
+			sort.SliceStable(order, func(a, b int) bool { return scores[order[a]] > scores[order[b]] })
+			for i, idx := range order {
+				ranked[i] = eligible[idx]
+			}
+			pick(ranked, nHard)
+		}
+	}
+
+	scores := sv.model.ScoreItems(c.ID, items)
+	preds := make([]comm.Prediction, len(items))
+	for i, v := range items {
+		preds[i] = comm.Prediction{User: c.ID, Item: v, Score: scores[i]}
+	}
+	return preds
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

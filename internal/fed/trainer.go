@@ -1,0 +1,253 @@
+package fed
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"ptffedrec/internal/comm"
+	"ptffedrec/internal/data"
+	"ptffedrec/internal/eval"
+	"ptffedrec/internal/privacy"
+	"ptffedrec/internal/rng"
+)
+
+// RoundStats records one global round.
+type RoundStats struct {
+	Round        int
+	Participants int
+	Dropped      int     // clients that failed before uploading (FaultPlan)
+	ClientLoss   float64 // mean local-training loss across participants
+	ServerLoss   float64 // mean server batch loss
+	AttackF1     float64 // mean Top Guess Attack F1 across uploads
+	UploadBytes  int64   // total client→server bytes this round
+	DispersBytes int64   // total server→client bytes this round
+	Recall, NDCG float64 // server metrics (when evaluated)
+	Evaluated    bool
+}
+
+// History is a full training run's trace.
+type History struct {
+	Rounds []RoundStats
+	Final  eval.Result
+	// MeanAttackF1 averages the attack over all rounds — the Table V figure.
+	MeanAttackF1 float64
+}
+
+// Trainer orchestrates PTF-FedRec end to end (Algorithm 1).
+type Trainer struct {
+	cfg     Config
+	split   *data.Split
+	clients []*Client
+	server  *Server
+	meter   *comm.Meter
+	root    *rng.Stream
+}
+
+// NewTrainer wires up one client per user and the hidden server model.
+func NewTrainer(sp *data.Split, cfg Config) (*Trainer, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	root := rng.New(cfg.Seed).Derive("ptf-fedrec")
+	server, err := newServer(sp.NumUsers, sp.NumItems, &cfg, root)
+	if err != nil {
+		return nil, err
+	}
+	t := &Trainer{
+		cfg:    cfg,
+		split:  sp,
+		server: server,
+		meter:  comm.NewMeter(),
+		root:   root,
+	}
+	for u := 0; u < sp.NumUsers; u++ {
+		c, err := newClient(u, sp.Train[u], sp.NumItems, &t.cfg, root)
+		if err != nil {
+			return nil, err
+		}
+		t.clients = append(t.clients, c)
+	}
+	return t, nil
+}
+
+// Clients exposes the participant list (tests, examples).
+func (t *Trainer) Clients() []*Client { return t.clients }
+
+// Server exposes the server (tests, examples).
+func (t *Trainer) Server() *Server { return t.server }
+
+// Meter exposes the communication meter.
+func (t *Trainer) Meter() *comm.Meter { return t.meter }
+
+// Config returns the active configuration.
+func (t *Trainer) Config() Config { return t.cfg }
+
+// clientResult carries one participant's round output.
+type clientResult struct {
+	client   *Client
+	upload   []comm.Prediction
+	loss     float64
+	attackF1 float64
+	upBytes  int
+	dropped  bool
+}
+
+// RunRound executes Algorithm 1's loop body once.
+func (t *Trainer) RunRound(round int) RoundStats {
+	// 1. Sample Uᵗ.
+	sel := t.root.DeriveN("select", round)
+	n := int(t.cfg.ClientFraction * float64(len(t.clients)))
+	if n < 1 {
+		n = 1
+	}
+	idx := sel.SampleInts(len(t.clients), n)
+
+	// 2. Parallel client local training + upload construction.
+	workers := t.cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	results := make([]clientResult, len(idx))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i, ci := range idx {
+		wg.Add(1)
+		go func(slot, ci int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			c := t.clients[ci]
+			// Fault injection: a dropped client burns its local compute but
+			// nothing reaches the server.
+			if t.cfg.Faults.enabled() {
+				fs := t.root.DeriveN("fault", round).DeriveN("client", ci)
+				if fs.Bernoulli(t.cfg.Faults.DropoutRate) {
+					results[slot] = clientResult{client: c, dropped: true}
+					return
+				}
+				defer func() {
+					if fs.Bernoulli(t.cfg.Faults.TruncateRate) && len(results[slot].upload) > 1 {
+						results[slot].upload = results[slot].upload[:len(results[slot].upload)/2]
+						results[slot].upBytes = len(comm.EncodePredictions(results[slot].upload))
+					}
+				}()
+			}
+			upload, loss := c.localTrain(func(n int) []int {
+				return t.split.SampleNegativesN(c.s.DeriveN("negs", round), c.ID, n)
+			})
+			upload, upBytes := t.encodeForWire(upload)
+			// The curious-but-honest server's inference attempt, scored
+			// against ground truth for Table V / Fig. 3.
+			guessed := privacy.TopGuessAttack(upload, t.cfg.AttackPosFraction)
+			f1 := privacy.AttackF1(upload, guessed, c.isPositive)
+			results[slot] = clientResult{
+				client:   c,
+				upload:   upload,
+				loss:     loss,
+				attackF1: f1,
+				upBytes:  upBytes,
+			}
+		}(i, ci)
+	}
+	wg.Wait()
+
+	stats := RoundStats{Round: round, Participants: len(idx)}
+	uploads := make([][]comm.Prediction, 0, len(results))
+	responders := results[:0:0]
+	for _, r := range results {
+		if r.dropped {
+			stats.Dropped++
+			continue
+		}
+		responders = append(responders, r)
+		uploads = append(uploads, r.upload)
+		stats.ClientLoss += r.loss
+		stats.AttackF1 += r.attackF1
+		stats.UploadBytes += int64(r.upBytes)
+		t.meter.AddUp(r.client.ID, r.upBytes)
+	}
+	results = responders
+	if len(results) > 0 {
+		stats.ClientLoss /= float64(len(results))
+		stats.AttackF1 /= float64(len(results))
+	}
+
+	// 3. Server-side: absorb uploads, rebuild the graph, optimise Eq. 5.
+	t.server.absorb(uploads)
+	t.server.rebuildGraph()
+	stats.ServerLoss = t.server.train(uploads)
+
+	// 4. Disperse D̃ᵢ to the round's participants.
+	for _, r := range results {
+		preds := t.server.disperse(r.client)
+		preds, nBytes := t.encodeForWire(preds)
+		r.client.receiveDispersal(preds)
+		stats.DispersBytes += int64(nBytes)
+		t.meter.AddDown(r.client.ID, nBytes)
+	}
+	t.meter.EndRound()
+	return stats
+}
+
+// encodeForWire runs predictions through the configured wire codec,
+// returning what the receiver actually sees plus the encoded byte count.
+// Under quantization the round trip is lossy by design.
+func (t *Trainer) encodeForWire(preds []comm.Prediction) ([]comm.Prediction, int) {
+	if !t.cfg.QuantizeScores {
+		return preds, len(comm.EncodePredictions(preds))
+	}
+	buf := comm.EncodePredictionsQuantized(preds)
+	decoded, err := comm.DecodePredictionsQuantized(buf)
+	if err != nil {
+		// Encoding our own payload cannot fail to decode; a failure here is
+		// a bug in the codec.
+		panic(err)
+	}
+	return decoded, len(buf)
+}
+
+// Run executes the configured number of rounds and a final evaluation.
+func (t *Trainer) Run() (*History, error) {
+	h := &History{}
+	for round := 0; round < t.cfg.Rounds; round++ {
+		rs := t.RunRound(round)
+		if t.cfg.EvalEvery > 0 && (round+1)%t.cfg.EvalEvery == 0 {
+			res := t.EvaluateServer()
+			rs.Recall, rs.NDCG, rs.Evaluated = res.Recall, res.NDCG, true
+		}
+		h.Rounds = append(h.Rounds, rs)
+		h.MeanAttackF1 += rs.AttackF1
+	}
+	if len(h.Rounds) > 0 {
+		h.MeanAttackF1 /= float64(len(h.Rounds))
+	}
+	h.Final = t.EvaluateServer()
+	return h, nil
+}
+
+// EvaluateServer measures the hidden model's ranking quality — the quantity
+// Table III reports for PTF-FedRec.
+func (t *Trainer) EvaluateServer() eval.Result {
+	return eval.Ranking(t.server.model, t.split, t.cfg.EvalK)
+}
+
+// EvaluateClients measures the mean ranking quality of the client-side local
+// models (each scoring through its own single-user universe).
+func (t *Trainer) EvaluateClients() eval.Result {
+	scorer := eval.ScorerFunc(func(u int, items []int) []float64 {
+		return t.clients[u].model.ScoreItems(0, items)
+	})
+	return eval.Ranking(scorer, t.split, t.cfg.EvalK)
+}
+
+// String summarises a round for logs.
+func (rs RoundStats) String() string {
+	s := fmt.Sprintf("round %2d: clients=%d clientLoss=%.4f serverLoss=%.4f attackF1=%.3f up=%s down=%s",
+		rs.Round, rs.Participants, rs.ClientLoss, rs.ServerLoss, rs.AttackF1,
+		comm.FormatBytes(float64(rs.UploadBytes)), comm.FormatBytes(float64(rs.DispersBytes)))
+	if rs.Evaluated {
+		s += fmt.Sprintf(" recall@k=%.4f ndcg@k=%.4f", rs.Recall, rs.NDCG)
+	}
+	return s
+}

@@ -1,0 +1,119 @@
+package hesim
+
+import (
+	"fmt"
+	"math"
+	"math/big"
+)
+
+// FixedPoint encodes floats as scaled integers so they can be encrypted and
+// summed homomorphically. Negative values are represented modularly (m < 0
+// becomes n + m); decode treats values above n/2 as negative. Summing k
+// encodings is safe as long as k·|value|·2^FracBits stays below n/2.
+type FixedPoint struct {
+	FracBits uint // binary fraction bits (precision ≈ 2^-FracBits)
+	N        *big.Int
+	half     *big.Int
+}
+
+// NewFixedPoint builds a codec for the modulus of pk.
+func NewFixedPoint(pk *PublicKey, fracBits uint) *FixedPoint {
+	return &FixedPoint{FracBits: fracBits, N: pk.N, half: new(big.Int).Rsh(pk.N, 1)}
+}
+
+// Encode converts f to its modular fixed-point representation.
+func (fp *FixedPoint) Encode(f float64) (*big.Int, error) {
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		return nil, fmt.Errorf("hesim: cannot encode %v", f)
+	}
+	scaled := new(big.Float).Mul(big.NewFloat(f), big.NewFloat(math.Pow(2, float64(fp.FracBits))))
+	z, _ := scaled.Int(nil)
+	if new(big.Int).Abs(z).Cmp(fp.half) >= 0 {
+		return nil, fmt.Errorf("hesim: %v overflows fixed-point range", f)
+	}
+	if z.Sign() < 0 {
+		z.Add(z, fp.N)
+	}
+	return z, nil
+}
+
+// Decode converts a modular fixed-point value back to a float.
+func (fp *FixedPoint) Decode(z *big.Int) float64 {
+	v := new(big.Int).Mod(z, fp.N)
+	if v.Cmp(fp.half) > 0 {
+		v.Sub(v, fp.N)
+	}
+	f := new(big.Float).SetInt(v)
+	f.Quo(f, big.NewFloat(math.Pow(2, float64(fp.FracBits))))
+	out, _ := f.Float64()
+	return out
+}
+
+// Packer packs several fixed-point slots into one plaintext so one Paillier
+// operation carries a whole gradient stripe — the optimisation real FedMF
+// deployments use to tame ciphertext blow-up. Each slot is SlotBits wide;
+// values must fit in the signed sub-range of a slot even after the expected
+// number of homomorphic additions.
+type Packer struct {
+	SlotBits uint
+	Slots    int
+	FracBits uint
+	N        *big.Int
+}
+
+// NewPacker sizes a packer for the given key: it fits as many SlotBits-wide
+// slots as leave headroom below n.
+func NewPacker(pk *PublicKey, slotBits, fracBits uint) *Packer {
+	slots := (pk.N.BitLen() - int(slotBits)) / int(slotBits)
+	if slots < 1 {
+		slots = 1
+	}
+	return &Packer{SlotBits: slotBits, Slots: slots, FracBits: fracBits, N: pk.N}
+}
+
+// Pack encodes up to Slots floats into one plaintext. Values are biased by
+// 2^(SlotBits-1)/2^FracBits half-range so each slot stays non-negative; the
+// bias is removed on Unpack. Homomorphic addition of k packed plaintexts
+// adds k·bias per slot, which Unpack(k) compensates for.
+func (p *Packer) Pack(vals []float64) (*big.Int, error) {
+	if len(vals) > p.Slots {
+		return nil, fmt.Errorf("hesim: %d values exceed %d slots", len(vals), p.Slots)
+	}
+	scale := math.Pow(2, float64(p.FracBits))
+	bias := int64(1) << (p.SlotBits - 2)
+	out := new(big.Int)
+	for i := p.Slots - 1; i >= 0; i-- {
+		out.Lsh(out, p.SlotBits)
+		if i < len(vals) {
+			v := vals[i]
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("hesim: cannot pack %v", v)
+			}
+			scaled := int64(math.Round(v*scale)) + bias
+			if scaled < 0 || scaled >= int64(1)<<p.SlotBits {
+				return nil, fmt.Errorf("hesim: value %v overflows slot", v)
+			}
+			out.Add(out, big.NewInt(scaled))
+		} else {
+			out.Add(out, big.NewInt(bias))
+		}
+	}
+	return out, nil
+}
+
+// Unpack splits a plaintext that is the homomorphic sum of k packed values
+// back into per-slot float sums.
+func (p *Packer) Unpack(z *big.Int, k int) []float64 {
+	scale := math.Pow(2, float64(p.FracBits))
+	bias := int64(1) << (p.SlotBits - 2)
+	mask := new(big.Int).Sub(new(big.Int).Lsh(one, p.SlotBits), one)
+	out := make([]float64, p.Slots)
+	cur := new(big.Int).Set(z)
+	for i := 0; i < p.Slots; i++ {
+		slot := new(big.Int).And(cur, mask)
+		raw := slot.Int64() - int64(k)*bias
+		out[i] = float64(raw) / scale
+		cur.Rsh(cur, p.SlotBits)
+	}
+	return out
+}

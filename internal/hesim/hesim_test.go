@@ -1,0 +1,202 @@
+package hesim
+
+import (
+	"math"
+	"math/big"
+	"testing"
+)
+
+// testKey generates a small key once; 256-bit keys keep the tests fast while
+// exercising the same code paths as 2048-bit production keys.
+var testKey = mustKey(256)
+
+func mustKey(bits int) *PrivateKey {
+	k, err := GenerateKey(nil, bits)
+	if err != nil {
+		panic(err)
+	}
+	return k
+}
+
+func TestEncryptDecryptRoundTrip(t *testing.T) {
+	for _, m := range []int64{0, 1, 42, 1 << 30} {
+		ct, err := testKey.Encrypt(nil, big.NewInt(m))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := testKey.Decrypt(ct); got.Int64() != m {
+			t.Fatalf("decrypt = %v, want %v", got, m)
+		}
+	}
+}
+
+func TestEncryptRejectsOutOfRange(t *testing.T) {
+	if _, err := testKey.Encrypt(nil, big.NewInt(-1)); err == nil {
+		t.Fatal("negative plaintext accepted")
+	}
+	if _, err := testKey.Encrypt(nil, new(big.Int).Set(testKey.N)); err == nil {
+		t.Fatal("plaintext >= n accepted")
+	}
+}
+
+func TestEncryptionIsRandomized(t *testing.T) {
+	a, _ := testKey.Encrypt(nil, big.NewInt(7))
+	b, _ := testKey.Encrypt(nil, big.NewInt(7))
+	if a.C.Cmp(b.C) == 0 {
+		t.Fatal("two encryptions of the same value are identical")
+	}
+}
+
+func TestHomomorphicAdd(t *testing.T) {
+	a, _ := testKey.Encrypt(nil, big.NewInt(100))
+	b, _ := testKey.Encrypt(nil, big.NewInt(23))
+	sum := testKey.Add(a, b)
+	if got := testKey.Decrypt(sum); got.Int64() != 123 {
+		t.Fatalf("E(100)+E(23) decrypts to %v", got)
+	}
+}
+
+func TestHomomorphicAddMany(t *testing.T) {
+	// Aggregating many client gradients is FedMF's core operation.
+	acc, _ := testKey.Encrypt(nil, big.NewInt(0))
+	want := int64(0)
+	for i := int64(1); i <= 20; i++ {
+		ct, _ := testKey.Encrypt(nil, big.NewInt(i))
+		acc = testKey.Add(acc, ct)
+		want += i
+	}
+	if got := testKey.Decrypt(acc); got.Int64() != want {
+		t.Fatalf("sum decrypts to %v, want %v", got, want)
+	}
+}
+
+func TestMulPlain(t *testing.T) {
+	a, _ := testKey.Encrypt(nil, big.NewInt(9))
+	c := testKey.MulPlain(a, big.NewInt(5))
+	if got := testKey.Decrypt(c); got.Int64() != 45 {
+		t.Fatalf("5·E(9) decrypts to %v", got)
+	}
+}
+
+func TestGenerateKeyErrors(t *testing.T) {
+	if _, err := GenerateKey(nil, 8); err == nil {
+		t.Fatal("tiny key accepted")
+	}
+}
+
+func TestCiphertextBytes(t *testing.T) {
+	if CiphertextBytes(2048) != 512 {
+		t.Fatalf("CiphertextBytes(2048) = %d", CiphertextBytes(2048))
+	}
+	if kb := testKey.KeyBits(); kb < 250 || kb > 256 {
+		t.Fatalf("KeyBits = %d", kb)
+	}
+}
+
+func TestFixedPointRoundTrip(t *testing.T) {
+	fp := NewFixedPoint(&testKey.PublicKey, 32)
+	for _, f := range []float64{0, 1.5, -2.25, 0.001, -0.001, 123456.789} {
+		z, err := fp.Encode(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := fp.Decode(z); math.Abs(got-f) > 1e-6 {
+			t.Fatalf("fixed point %v -> %v", f, got)
+		}
+	}
+}
+
+func TestFixedPointRejectsNaN(t *testing.T) {
+	fp := NewFixedPoint(&testKey.PublicKey, 32)
+	if _, err := fp.Encode(math.NaN()); err == nil {
+		t.Fatal("NaN accepted")
+	}
+	if _, err := fp.Encode(math.Inf(1)); err == nil {
+		t.Fatal("Inf accepted")
+	}
+}
+
+func TestEncryptedFixedPointSum(t *testing.T) {
+	// The FedMF aggregation path: encode, encrypt, homomorphically sum,
+	// decrypt, decode — including negative gradients.
+	fp := NewFixedPoint(&testKey.PublicKey, 32)
+	vals := []float64{0.5, -1.25, 2.75, -0.125}
+	var acc *Ciphertext
+	for _, v := range vals {
+		z, err := fp.Encode(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ct, err := testKey.Encrypt(nil, z)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if acc == nil {
+			acc = ct
+		} else {
+			acc = testKey.Add(acc, ct)
+		}
+	}
+	got := fp.Decode(testKey.Decrypt(acc))
+	want := 0.5 - 1.25 + 2.75 - 0.125
+	if math.Abs(got-want) > 1e-6 {
+		t.Fatalf("encrypted sum = %v, want %v", got, want)
+	}
+}
+
+func TestPackerRoundTrip(t *testing.T) {
+	p := NewPacker(&testKey.PublicKey, 32, 16)
+	if p.Slots < 2 {
+		t.Fatalf("packer slots = %d", p.Slots)
+	}
+	vals := []float64{0.5, -0.25, 1.75}
+	z, err := p.Pack(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := p.Unpack(z, 1)
+	for i, v := range vals {
+		if math.Abs(out[i]-v) > 1e-4 {
+			t.Fatalf("slot %d = %v, want %v", i, out[i], v)
+		}
+	}
+	// Unused slots decode to 0.
+	for i := len(vals); i < p.Slots; i++ {
+		if math.Abs(out[i]) > 1e-9 {
+			t.Fatalf("unused slot %d = %v", i, out[i])
+		}
+	}
+}
+
+func TestPackerHomomorphicSum(t *testing.T) {
+	p := NewPacker(&testKey.PublicKey, 32, 16)
+	a := []float64{0.5, -1.0}
+	b := []float64{0.25, 0.5}
+	za, err := p.Pack(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zb, err := p.Pack(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ca, _ := testKey.Encrypt(nil, za)
+	cb, _ := testKey.Encrypt(nil, zb)
+	sum := p.Unpack(testKey.Decrypt(testKey.Add(ca, cb)), 2)
+	if math.Abs(sum[0]-0.75) > 1e-4 || math.Abs(sum[1]-(-0.5)) > 1e-4 {
+		t.Fatalf("packed homomorphic sum = %v", sum[:2])
+	}
+}
+
+func TestPackerOverflowDetected(t *testing.T) {
+	p := NewPacker(&testKey.PublicKey, 16, 8)
+	if _, err := p.Pack([]float64{1e6}); err == nil {
+		t.Fatal("slot overflow accepted")
+	}
+	if _, err := p.Pack(make([]float64, p.Slots+1)); err == nil {
+		t.Fatal("too many slots accepted")
+	}
+	if _, err := p.Pack([]float64{math.NaN()}); err == nil {
+		t.Fatal("NaN accepted")
+	}
+}

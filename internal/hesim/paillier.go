@@ -1,0 +1,143 @@
+// Package hesim implements the Paillier additively homomorphic cryptosystem
+// over math/big, plus a fixed-point codec and slot packing. It is the
+// substrate behind the FedMF baseline (Chai et al., "Secure Federated Matrix
+// Factorization"), whose encrypted gradient uploads dominate its
+// communication cost in Table IV.
+//
+// Security note: this is a faithful textbook Paillier used to reproduce a
+// paper's system behaviour (ciphertext sizes, homomorphic aggregation). It
+// performs no constant-time hardening and must not be used to protect real
+// data.
+package hesim
+
+import (
+	"crypto/rand"
+	"fmt"
+	"io"
+	"math/big"
+)
+
+var one = big.NewInt(1)
+
+// PublicKey is a Paillier public key (n, g) with n² cached.
+type PublicKey struct {
+	N        *big.Int
+	NSquared *big.Int
+	G        *big.Int // g = n+1, the standard choice
+}
+
+// PrivateKey is a Paillier private key (λ, μ) with its public half.
+type PrivateKey struct {
+	PublicKey
+	Lambda *big.Int
+	Mu     *big.Int
+}
+
+// Ciphertext is one Paillier ciphertext c ∈ Z*_{n²}.
+type Ciphertext struct {
+	C *big.Int
+}
+
+// GenerateKey creates a Paillier key pair whose modulus n has roughly `bits`
+// bits. Use ≥2048 for realistic ciphertext sizing, smaller for fast tests.
+func GenerateKey(random io.Reader, bits int) (*PrivateKey, error) {
+	if bits < 16 {
+		return nil, fmt.Errorf("hesim: key size %d too small", bits)
+	}
+	if random == nil {
+		random = rand.Reader
+	}
+	for {
+		p, err := rand.Prime(random, bits/2)
+		if err != nil {
+			return nil, fmt.Errorf("hesim: prime generation: %w", err)
+		}
+		q, err := rand.Prime(random, bits/2)
+		if err != nil {
+			return nil, fmt.Errorf("hesim: prime generation: %w", err)
+		}
+		if p.Cmp(q) == 0 {
+			continue
+		}
+		n := new(big.Int).Mul(p, q)
+		pm1 := new(big.Int).Sub(p, one)
+		qm1 := new(big.Int).Sub(q, one)
+		lambda := new(big.Int).Div(new(big.Int).Mul(pm1, qm1), new(big.Int).GCD(nil, nil, pm1, qm1))
+		n2 := new(big.Int).Mul(n, n)
+		g := new(big.Int).Add(n, one)
+		// μ = (L(g^λ mod n²))⁻¹ mod n
+		glambda := new(big.Int).Exp(g, lambda, n2)
+		l := lFunc(glambda, n)
+		mu := new(big.Int).ModInverse(l, n)
+		if mu == nil {
+			continue // degenerate; retry with new primes
+		}
+		return &PrivateKey{
+			PublicKey: PublicKey{N: n, NSquared: n2, G: g},
+			Lambda:    lambda,
+			Mu:        mu,
+		}, nil
+	}
+}
+
+// lFunc is Paillier's L(x) = (x-1)/n.
+func lFunc(x, n *big.Int) *big.Int {
+	return new(big.Int).Div(new(big.Int).Sub(x, one), n)
+}
+
+// Encrypt computes E(m) = g^m · r^n mod n² for 0 ≤ m < n.
+func (pk *PublicKey) Encrypt(random io.Reader, m *big.Int) (*Ciphertext, error) {
+	if m.Sign() < 0 || m.Cmp(pk.N) >= 0 {
+		return nil, fmt.Errorf("hesim: plaintext outside [0, n)")
+	}
+	if random == nil {
+		random = rand.Reader
+	}
+	var r *big.Int
+	for {
+		var err error
+		r, err = rand.Int(random, pk.N)
+		if err != nil {
+			return nil, fmt.Errorf("hesim: nonce: %w", err)
+		}
+		if r.Sign() > 0 && new(big.Int).GCD(nil, nil, r, pk.N).Cmp(one) == 0 {
+			break
+		}
+	}
+	// g = n+1 allows the shortcut g^m = 1 + m·n (mod n²).
+	gm := new(big.Int).Mul(m, pk.N)
+	gm.Add(gm, one)
+	gm.Mod(gm, pk.NSquared)
+	rn := new(big.Int).Exp(r, pk.N, pk.NSquared)
+	c := gm.Mul(gm, rn)
+	c.Mod(c, pk.NSquared)
+	return &Ciphertext{C: c}, nil
+}
+
+// Decrypt recovers m = L(c^λ mod n²)·μ mod n.
+func (sk *PrivateKey) Decrypt(ct *Ciphertext) *big.Int {
+	clambda := new(big.Int).Exp(ct.C, sk.Lambda, sk.NSquared)
+	m := lFunc(clambda, sk.N)
+	m.Mul(m, sk.Mu)
+	m.Mod(m, sk.N)
+	return m
+}
+
+// Add returns E(a+b) = E(a)·E(b) mod n².
+func (pk *PublicKey) Add(a, b *Ciphertext) *Ciphertext {
+	c := new(big.Int).Mul(a.C, b.C)
+	c.Mod(c, pk.NSquared)
+	return &Ciphertext{C: c}
+}
+
+// MulPlain returns E(k·a) = E(a)^k mod n² for plaintext k ≥ 0.
+func (pk *PublicKey) MulPlain(a *Ciphertext, k *big.Int) *Ciphertext {
+	return &Ciphertext{C: new(big.Int).Exp(a.C, k, pk.NSquared)}
+}
+
+// CiphertextBytes returns the wire size of one ciphertext for a key of the
+// given modulus bit length: |n²| = 2·bits, serialised big-endian.
+func CiphertextBytes(keyBits int) int { return 2 * keyBits / 8 }
+
+// KeyBits returns the modulus size of the public key in bits.
+func (pk *PublicKey) KeyBits() int { return pk.N.BitLen() }

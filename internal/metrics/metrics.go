@@ -1,0 +1,165 @@
+// Package metrics implements the evaluation measures used in the paper:
+// Recall@K and NDCG@K for recommendation quality (computed over all items the
+// user has not interacted with, as in §IV-B) and the F1 score for the Top
+// Guess Attack's inference quality.
+package metrics
+
+import (
+	"math"
+	"sort"
+)
+
+// RecallAtK returns |topK ∩ relevant| / |relevant|.
+func RecallAtK(ranked []int, relevant map[int]bool, k int) float64 {
+	if len(relevant) == 0 {
+		return 0
+	}
+	if k > len(ranked) {
+		k = len(ranked)
+	}
+	hits := 0
+	for _, v := range ranked[:k] {
+		if relevant[v] {
+			hits++
+		}
+	}
+	return float64(hits) / float64(len(relevant))
+}
+
+// NDCGAtK returns the normalized discounted cumulative gain at rank k with
+// binary relevance.
+func NDCGAtK(ranked []int, relevant map[int]bool, k int) float64 {
+	if len(relevant) == 0 {
+		return 0
+	}
+	if k > len(ranked) {
+		k = len(ranked)
+	}
+	var dcg float64
+	for i, v := range ranked[:k] {
+		if relevant[v] {
+			dcg += 1 / math.Log2(float64(i)+2)
+		}
+	}
+	ideal := len(relevant)
+	if ideal > k {
+		ideal = k
+	}
+	var idcg float64
+	for i := 0; i < ideal; i++ {
+		idcg += 1 / math.Log2(float64(i)+2)
+	}
+	if idcg == 0 {
+		return 0
+	}
+	return dcg / idcg
+}
+
+// PrecisionAtK returns |topK ∩ relevant| / k.
+func PrecisionAtK(ranked []int, relevant map[int]bool, k int) float64 {
+	if k <= 0 {
+		return 0
+	}
+	if k > len(ranked) {
+		k = len(ranked)
+	}
+	if k == 0 {
+		return 0
+	}
+	hits := 0
+	for _, v := range ranked[:k] {
+		if relevant[v] {
+			hits++
+		}
+	}
+	return float64(hits) / float64(k)
+}
+
+// HitRateAtK returns 1 if any relevant item appears in the top k.
+func HitRateAtK(ranked []int, relevant map[int]bool, k int) float64 {
+	if k > len(ranked) {
+		k = len(ranked)
+	}
+	for _, v := range ranked[:k] {
+		if relevant[v] {
+			return 1
+		}
+	}
+	return 0
+}
+
+// F1Sets returns the F1 score of a predicted set against a truth set.
+func F1Sets(predicted, truth map[int]bool) float64 {
+	if len(predicted) == 0 || len(truth) == 0 {
+		return 0
+	}
+	tp := 0
+	for v := range predicted {
+		if truth[v] {
+			tp++
+		}
+	}
+	if tp == 0 {
+		return 0
+	}
+	precision := float64(tp) / float64(len(predicted))
+	recall := float64(tp) / float64(len(truth))
+	return 2 * precision * recall / (precision + recall)
+}
+
+// AUC returns the probability a random positive outscores a random negative.
+func AUC(posScores, negScores []float64) float64 {
+	if len(posScores) == 0 || len(negScores) == 0 {
+		return 0.5
+	}
+	wins := 0.0
+	for _, p := range posScores {
+		for _, n := range negScores {
+			switch {
+			case p > n:
+				wins++
+			case p == n:
+				wins += 0.5
+			}
+		}
+	}
+	return wins / float64(len(posScores)*len(negScores))
+}
+
+// TopK returns the indices of the k largest scores, highest first. Ties
+// break toward the lower index for determinism.
+func TopK(scores []float64, k int) []int {
+	idx := make([]int, len(scores))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return scores[idx[a]] > scores[idx[b]] })
+	if k > len(idx) {
+		k = len(idx)
+	}
+	return idx[:k]
+}
+
+// RankEval aggregates Recall@K and NDCG@K across users.
+type RankEval struct {
+	Recall, NDCG float64
+	Users        int
+}
+
+// Add accumulates one user's ranked list.
+func (e *RankEval) Add(ranked []int, relevant map[int]bool, k int) {
+	if len(relevant) == 0 {
+		return
+	}
+	e.Recall += RecallAtK(ranked, relevant, k)
+	e.NDCG += NDCGAtK(ranked, relevant, k)
+	e.Users++
+}
+
+// Mean returns the user-averaged metrics.
+func (e *RankEval) Mean() (recall, ndcg float64) {
+	if e.Users == 0 {
+		return 0, 0
+	}
+	return e.Recall / float64(e.Users), e.NDCG / float64(e.Users)
+}

@@ -1,0 +1,134 @@
+package models
+
+import (
+	"ptffedrec/internal/graph"
+	"ptffedrec/internal/nn"
+	"ptffedrec/internal/rng"
+	"ptffedrec/internal/tensor"
+)
+
+// LightGCN implements He et al. (2020): embeddings are propagated L times
+// over the symmetric normalized adjacency with no transforms or
+// nonlinearities, and the readout is the layer mean
+//
+//	E_final = 1/(L+1) · Σ_{l=0..L} Â^l E⁰ ,  r̂ᵤᵥ = σ(eᵤ·eᵥ).
+//
+// Backpropagation exploits Â's symmetry: dE⁰ = Σ_l c·Â^l dE_final, computed
+// with the recurrence G_{l-1} = c·dF + Â·G_l.
+type LightGCN struct {
+	cfg Config
+	e0  *nn.Param // (U+V)×d
+	opt *nn.Adam
+
+	adj   *tensor.CSR
+	final *tensor.Matrix
+	dirty bool
+}
+
+// NewLightGCN builds the model over an initially empty graph (call SetGraph).
+func NewLightGCN(cfg Config, s *rng.Stream) *LightGCN {
+	n := cfg.NumUsers + cfg.NumItems
+	m := &LightGCN{cfg: cfg, e0: nn.NewParam("lightgcn.E0", n, cfg.Dim), opt: nn.NewAdam(cfg.LR), dirty: true}
+	nn.Normal(s.Derive("e0"), m.e0.W, 0.1)
+	m.SetGraph(graph.NewBipartite(cfg.NumUsers, cfg.NumItems))
+	return m
+}
+
+// Name implements Recommender.
+func (m *LightGCN) Name() string { return string(KindLightGCN) }
+
+// NumParams implements Recommender.
+func (m *LightGCN) NumParams() int { return m.e0.NumValues() }
+
+// SetGraph implements GraphRecommender.
+func (m *LightGCN) SetGraph(g *graph.Bipartite) {
+	if g.NumUsers != m.cfg.NumUsers || g.NumItems != m.cfg.NumItems {
+		panic("models: LightGCN graph universe mismatch")
+	}
+	m.adj = g.NormalizedAdj()
+	m.dirty = true
+}
+
+// propagate returns the cached layer-mean embeddings, recomputing when the
+// parameters or graph changed.
+func (m *LightGCN) propagate() *tensor.Matrix {
+	if !m.dirty && m.final != nil {
+		return m.final
+	}
+	c := 1.0 / float64(m.cfg.Layers+1)
+	final := m.e0.W.Clone().Scale(c)
+	cur := m.e0.W
+	buf := tensor.New(cur.Rows, cur.Cols)
+	for l := 0; l < m.cfg.Layers; l++ {
+		m.adj.MulDenseInto(buf, cur)
+		final.AddScaled(c, buf)
+		cur = buf.Clone()
+	}
+	m.final = final
+	m.dirty = false
+	return final
+}
+
+func (m *LightGCN) itemNode(v int) int { return m.cfg.NumUsers + v }
+
+// Score implements Recommender.
+func (m *LightGCN) Score(u, v int) float64 {
+	f := m.propagate()
+	return nn.Sigmoid(dot(f.Row(u), f.Row(m.itemNode(v))))
+}
+
+// ScoreItems implements Recommender.
+func (m *LightGCN) ScoreItems(u int, items []int) []float64 {
+	f := m.propagate()
+	urow := f.Row(u)
+	out := make([]float64, len(items))
+	for i, v := range items {
+		out[i] = nn.Sigmoid(dot(urow, f.Row(m.itemNode(v))))
+	}
+	return out
+}
+
+// TrainBatch implements Recommender.
+func (m *LightGCN) TrainBatch(batch []Sample) float64 {
+	if len(batch) == 0 {
+		return 0
+	}
+	loss := m.accumulateGrad(batch)
+	m.opt.Step([]*nn.Param{m.e0})
+	m.dirty = true
+	return loss
+}
+
+// accumulateGrad computes the batch loss and adds dL/dE⁰ into the parameter
+// gradient without stepping the optimizer.
+func (m *LightGCN) accumulateGrad(batch []Sample) float64 {
+	f := m.propagate()
+	preds := make([]float64, len(batch))
+	targets := make([]float64, len(batch))
+	for i, smp := range batch {
+		preds[i] = nn.Sigmoid(dot(f.Row(smp.User), f.Row(m.itemNode(smp.Item))))
+		targets[i] = smp.Label
+	}
+	loss := nn.BCE(preds, targets)
+	grads := nn.BCELogitGrad(preds, targets)
+
+	// dL/dE_final from the dot-product scores.
+	dF := tensor.New(f.Rows, f.Cols)
+	for i, smp := range batch {
+		g := grads[i]
+		vn := m.itemNode(smp.Item)
+		tensor.Axpy(g, f.Row(vn), dF.Row(smp.User))
+		tensor.Axpy(g, f.Row(smp.User), dF.Row(vn))
+	}
+
+	// Back through the propagation: G_L = c·dF, G_{l-1} = c·dF + Â·G_l.
+	c := 1.0 / float64(m.cfg.Layers+1)
+	g := dF.Clone().Scale(c)
+	buf := tensor.New(dF.Rows, dF.Cols)
+	for l := m.cfg.Layers; l >= 1; l-- {
+		m.adj.MulDenseInto(buf, g)
+		g = dF.Clone().Scale(c).AddInPlace(buf)
+	}
+	m.e0.Grad.AddInPlace(g)
+	return loss
+}

@@ -1,0 +1,103 @@
+package models
+
+import (
+	"ptffedrec/internal/emb"
+	"ptffedrec/internal/nn"
+	"ptffedrec/internal/rng"
+)
+
+// MF is logistic matrix factorization: r̂ᵤᵥ = σ(pᵤ·qᵥ). It is the model
+// federated by the FCF and FedMF baselines.
+type MF struct {
+	cfg   Config
+	users embTable
+	items embTable
+}
+
+// NewMF builds a matrix factorization model.
+func NewMF(cfg Config, s *rng.Stream) *MF {
+	hy := emb.DefaultAdam(cfg.LR)
+	m := &MF{cfg: cfg}
+	if cfg.Lazy {
+		m.users = emb.NewLazyTable(s.Derive("u"), cfg.Dim, hy)
+		m.items = emb.NewLazyTable(s.Derive("v"), cfg.Dim, hy)
+	} else {
+		m.users = emb.NewTable(s.Derive("u"), cfg.NumUsers, cfg.Dim, hy)
+		m.items = emb.NewTable(s.Derive("v"), cfg.NumItems, cfg.Dim, hy)
+	}
+	return m
+}
+
+// Name implements Recommender.
+func (m *MF) Name() string { return string(KindMF) }
+
+// NumParams implements Recommender.
+func (m *MF) NumParams() int { return (m.cfg.NumUsers + m.cfg.NumItems) * m.cfg.Dim }
+
+// Score implements Recommender.
+func (m *MF) Score(u, v int) float64 {
+	return nn.Sigmoid(dot(m.users.Row(u), m.items.Row(v)))
+}
+
+// ScoreItems implements Recommender.
+func (m *MF) ScoreItems(u int, items []int) []float64 {
+	p := m.users.Row(u)
+	out := make([]float64, len(items))
+	for i, v := range items {
+		out[i] = nn.Sigmoid(dot(p, m.items.Row(v)))
+	}
+	return out
+}
+
+// TrainBatch implements Recommender.
+func (m *MF) TrainBatch(batch []Sample) float64 {
+	if len(batch) == 0 {
+		return 0
+	}
+	loss := m.accumulateGrad(batch)
+	m.users.Step()
+	m.items.Step()
+	return loss
+}
+
+// accumulateGrad computes the batch loss and adds the embedding-row
+// gradients without applying them.
+func (m *MF) accumulateGrad(batch []Sample) float64 {
+	preds := make([]float64, len(batch))
+	targets := make([]float64, len(batch))
+	for i, smp := range batch {
+		preds[i] = m.Score(smp.User, smp.Item)
+		targets[i] = smp.Label
+	}
+	loss := nn.BCE(preds, targets)
+	grads := nn.BCELogitGrad(preds, targets)
+	du := make([]float64, m.cfg.Dim)
+	dv := make([]float64, m.cfg.Dim)
+	for i, smp := range batch {
+		p := m.users.Row(smp.User)
+		q := m.items.Row(smp.Item)
+		g := grads[i]
+		for k := 0; k < m.cfg.Dim; k++ {
+			du[k] = g * q[k]
+			dv[k] = g * p[k]
+		}
+		m.users.Accumulate(smp.User, du)
+		m.items.Accumulate(smp.Item, dv)
+	}
+	return loss
+}
+
+// UserRow exposes user u's embedding (read-only) for the federated baselines
+// that transmit embeddings directly.
+func (m *MF) UserRow(u int) []float64 { return m.users.Row(u) }
+
+// ItemRow exposes item v's embedding (read-only).
+func (m *MF) ItemRow(v int) []float64 { return m.items.Row(v) }
+
+func dot(a, b []float64) float64 {
+	var s float64
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}

@@ -1,0 +1,138 @@
+package models
+
+import (
+	"ptffedrec/internal/emb"
+	"ptffedrec/internal/nn"
+	"ptffedrec/internal/rng"
+	"ptffedrec/internal/tensor"
+)
+
+// NeuMF is the paper's Eq. 1 model: r̂ᵤᵥ = σ(hᵀ · MLP([pᵤ, qᵥ])) with the
+// §IV-D tower sizes (2d → 64 → 32 → 16 → 1) and ReLU activations. It is the
+// model the service provider assigns to every client.
+type NeuMF struct {
+	cfg    Config
+	users  embTable
+	items  embTable
+	tower  []*nn.Dense // hidden layers
+	out    *nn.Dense   // hᵀ + bias
+	opt    *nn.Adam
+	params []*nn.Param
+}
+
+// NewNeuMF builds the MLP recommender with the paper's layer sizes.
+func NewNeuMF(cfg Config, s *rng.Stream) *NeuMF {
+	hy := emb.DefaultAdam(cfg.LR)
+	m := &NeuMF{cfg: cfg, opt: nn.NewAdam(cfg.LR)}
+	if cfg.Lazy {
+		m.users = emb.NewLazyTable(s.Derive("u"), cfg.Dim, hy)
+		m.items = emb.NewLazyTable(s.Derive("v"), cfg.Dim, hy)
+	} else {
+		m.users = emb.NewTable(s.Derive("u"), cfg.NumUsers, cfg.Dim, hy)
+		m.items = emb.NewTable(s.Derive("v"), cfg.NumItems, cfg.Dim, hy)
+	}
+	sizes := []int{2 * cfg.Dim, 64, 32, 16}
+	for i := 0; i+1 < len(sizes); i++ {
+		m.tower = append(m.tower, nn.NewDense("neumf.l", sizes[i], sizes[i+1], s.DeriveN("dense", i)))
+	}
+	m.out = nn.NewDense("neumf.out", sizes[len(sizes)-1], 1, s.Derive("out"))
+	for _, d := range m.tower {
+		m.params = append(m.params, d.Params()...)
+	}
+	m.params = append(m.params, m.out.Params()...)
+	return m
+}
+
+// Name implements Recommender.
+func (m *NeuMF) Name() string { return string(KindNeuMF) }
+
+// NumParams implements Recommender.
+func (m *NeuMF) NumParams() int {
+	n := (m.cfg.NumUsers + m.cfg.NumItems) * m.cfg.Dim
+	for _, p := range m.params {
+		n += p.NumValues()
+	}
+	return n
+}
+
+// forward runs the tower on a batch, returning every intermediate needed by
+// backward: the input, each layer's pre-activation and activation, and the
+// final probability per row.
+func (m *NeuMF) forward(batch []Sample) (x *tensor.Matrix, zs, as []*tensor.Matrix, preds []float64) {
+	x = tensor.New(len(batch), 2*m.cfg.Dim)
+	for i, smp := range batch {
+		row := x.Row(i)
+		copy(row[:m.cfg.Dim], m.users.Row(smp.User))
+		copy(row[m.cfg.Dim:], m.items.Row(smp.Item))
+	}
+	cur := x
+	for _, d := range m.tower {
+		z := d.Forward(cur)
+		a := nn.ReLU(z)
+		zs = append(zs, z)
+		as = append(as, a)
+		cur = a
+	}
+	logits := m.out.Forward(cur)
+	preds = make([]float64, len(batch))
+	for i := range preds {
+		preds[i] = nn.Sigmoid(logits.At(i, 0))
+	}
+	return x, zs, as, preds
+}
+
+// backward pushes dL/dlogit through the tower, accumulating parameter
+// gradients and embedding-row gradients. It does not step the optimizer.
+func (m *NeuMF) backward(batch []Sample, x *tensor.Matrix, zs, as []*tensor.Matrix, dlogits []float64) {
+	dy := tensor.FromSlice(len(batch), 1, dlogits)
+	grad := m.out.Backward(as[len(as)-1], dy)
+	for i := len(m.tower) - 1; i >= 0; i-- {
+		grad = nn.ReLUBackward(zs[i], grad)
+		input := x
+		if i > 0 {
+			input = as[i-1]
+		}
+		grad = m.tower[i].Backward(input, grad)
+	}
+	for i, smp := range batch {
+		row := grad.Row(i)
+		m.users.Accumulate(smp.User, row[:m.cfg.Dim])
+		m.items.Accumulate(smp.Item, row[m.cfg.Dim:])
+	}
+}
+
+// TrainBatch implements Recommender.
+func (m *NeuMF) TrainBatch(batch []Sample) float64 {
+	if len(batch) == 0 {
+		return 0
+	}
+	x, zs, as, preds := m.forward(batch)
+	targets := make([]float64, len(batch))
+	for i, smp := range batch {
+		targets[i] = smp.Label
+	}
+	loss := nn.BCE(preds, targets)
+	m.backward(batch, x, zs, as, nn.BCELogitGrad(preds, targets))
+	m.opt.Step(m.params)
+	m.users.Step()
+	m.items.Step()
+	return loss
+}
+
+// Score implements Recommender.
+func (m *NeuMF) Score(u, v int) float64 {
+	return m.ScoreItems(u, []int{v})[0]
+}
+
+// ScoreItems implements Recommender.
+func (m *NeuMF) ScoreItems(u int, items []int) []float64 {
+	if len(items) == 0 {
+		return nil
+	}
+	batch := make([]Sample, len(items))
+	for i, v := range items {
+		batch[i] = Sample{User: u, Item: v}
+	}
+	_, _, _, preds := m.forward(batch)
+	return preds
+}

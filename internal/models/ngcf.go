@@ -1,0 +1,199 @@
+package models
+
+import (
+	"ptffedrec/internal/graph"
+	"ptffedrec/internal/nn"
+	"ptffedrec/internal/rng"
+	"ptffedrec/internal/tensor"
+)
+
+// ngcfAlpha is NGCF's LeakyReLU slope.
+const ngcfAlpha = 0.2
+
+// NGCF implements Wang et al. (2019). Layer l computes, in matrix form,
+//
+//	E_l = LeakyReLU( (Â+I)·E_{l-1}·W1_l + (Â·E_{l-1} ⊙ E_{l-1})·W2_l )
+//
+// where ⊙ is the row-wise Hadamard interaction term, and the readout
+// concatenates all layers: r̂ᵤᵥ = σ( Σ_l eᵤ^l · eᵥ^l ). Message dropout is
+// omitted (the paper trains small models for few epochs; see DESIGN.md).
+type NGCF struct {
+	cfg Config
+	e0  *nn.Param
+	w1  []*nn.Param // per layer, d×d
+	w2  []*nn.Param
+	opt *nn.Adam
+
+	adj, adjSelf *tensor.CSR
+
+	// propagation caches reused by scoring and backward
+	outs  []*tensor.Matrix // E_0..E_L (post-activation)
+	zs    []*tensor.Matrix // Z_1..Z_L (pre-activation)
+	ps    []*tensor.Matrix // P_l = (Â+I)E_{l-1}
+	qs    []*tensor.Matrix // Q_l = Â E_{l-1}
+	hs    []*tensor.Matrix // H_l = Q_l ⊙ E_{l-1}
+	dirty bool
+}
+
+// NewNGCF builds the model over an initially empty graph (call SetGraph).
+func NewNGCF(cfg Config, s *rng.Stream) *NGCF {
+	n := cfg.NumUsers + cfg.NumItems
+	m := &NGCF{cfg: cfg, e0: nn.NewParam("ngcf.E0", n, cfg.Dim), opt: nn.NewAdam(cfg.LR), dirty: true}
+	nn.Normal(s.Derive("e0"), m.e0.W, 0.1)
+	for l := 0; l < cfg.Layers; l++ {
+		w1 := nn.NewParam("ngcf.W1", cfg.Dim, cfg.Dim)
+		w2 := nn.NewParam("ngcf.W2", cfg.Dim, cfg.Dim)
+		nn.Xavier(s.DeriveN("w1", l), w1.W, cfg.Dim, cfg.Dim)
+		nn.Xavier(s.DeriveN("w2", l), w2.W, cfg.Dim, cfg.Dim)
+		m.w1 = append(m.w1, w1)
+		m.w2 = append(m.w2, w2)
+	}
+	m.SetGraph(graph.NewBipartite(cfg.NumUsers, cfg.NumItems))
+	return m
+}
+
+// Name implements Recommender.
+func (m *NGCF) Name() string { return string(KindNGCF) }
+
+// NumParams implements Recommender.
+func (m *NGCF) NumParams() int {
+	n := m.e0.NumValues()
+	for _, p := range m.w1 {
+		n += p.NumValues()
+	}
+	for _, p := range m.w2 {
+		n += p.NumValues()
+	}
+	return n
+}
+
+// SetGraph implements GraphRecommender.
+func (m *NGCF) SetGraph(g *graph.Bipartite) {
+	if g.NumUsers != m.cfg.NumUsers || g.NumItems != m.cfg.NumItems {
+		panic("models: NGCF graph universe mismatch")
+	}
+	m.adj = g.NormalizedAdj()
+	m.adjSelf = g.NormalizedAdjSelf()
+	m.dirty = true
+}
+
+// propagate fills the layer caches if stale.
+func (m *NGCF) propagate() {
+	if !m.dirty && m.outs != nil {
+		return
+	}
+	e := m.e0.W
+	m.outs = []*tensor.Matrix{e}
+	m.zs, m.ps, m.qs, m.hs = nil, nil, nil, nil
+	for l := 0; l < m.cfg.Layers; l++ {
+		p := m.adjSelf.MulDense(e)
+		q := m.adj.MulDense(e)
+		h := tensor.Hadamard(q, e)
+		z := tensor.MatMul(p, m.w1[l].W)
+		z.AddInPlace(tensor.MatMul(h, m.w2[l].W))
+		e = nn.LeakyReLU(z, ngcfAlpha)
+		m.ps = append(m.ps, p)
+		m.qs = append(m.qs, q)
+		m.hs = append(m.hs, h)
+		m.zs = append(m.zs, z)
+		m.outs = append(m.outs, e)
+	}
+	m.dirty = false
+}
+
+func (m *NGCF) itemNode(v int) int { return m.cfg.NumUsers + v }
+
+// readoutScale averages the per-layer dot products instead of summing the
+// concatenated readout. The two are equivalent up to a logit temperature;
+// averaging keeps NGCF's logits on the same scale as LightGCN's, which
+// matters when training against soft labels near 0.5.
+func (m *NGCF) readoutScale() float64 { return 1 / float64(len(m.outs)) }
+
+// scoreNodes computes the layer-averaged dot-product readout.
+func (m *NGCF) scoreNodes(un, vn int) float64 {
+	var s float64
+	for _, e := range m.outs {
+		s += dot(e.Row(un), e.Row(vn))
+	}
+	return nn.Sigmoid(s * m.readoutScale())
+}
+
+// Score implements Recommender.
+func (m *NGCF) Score(u, v int) float64 {
+	m.propagate()
+	return m.scoreNodes(u, m.itemNode(v))
+}
+
+// ScoreItems implements Recommender.
+func (m *NGCF) ScoreItems(u int, items []int) []float64 {
+	m.propagate()
+	out := make([]float64, len(items))
+	for i, v := range items {
+		out[i] = m.scoreNodes(u, m.itemNode(v))
+	}
+	return out
+}
+
+// TrainBatch implements Recommender.
+func (m *NGCF) TrainBatch(batch []Sample) float64 {
+	if len(batch) == 0 {
+		return 0
+	}
+	loss := m.accumulateGrad(batch)
+	params := []*nn.Param{m.e0}
+	params = append(params, m.w1...)
+	params = append(params, m.w2...)
+	m.opt.Step(params)
+	m.dirty = true
+	return loss
+}
+
+// accumulateGrad computes the batch loss and adds all parameter gradients
+// without stepping the optimizer.
+func (m *NGCF) accumulateGrad(batch []Sample) float64 {
+	m.propagate()
+	preds := make([]float64, len(batch))
+	targets := make([]float64, len(batch))
+	for i, smp := range batch {
+		preds[i] = m.scoreNodes(smp.User, m.itemNode(smp.Item))
+		targets[i] = smp.Label
+	}
+	loss := nn.BCE(preds, targets)
+	grads := nn.BCELogitGrad(preds, targets)
+
+	// dL/dE_l for every layer from the concatenated dot-product readout.
+	n := m.cfg.NumUsers + m.cfg.NumItems
+	dOuts := make([]*tensor.Matrix, m.cfg.Layers+1)
+	for l := range dOuts {
+		dOuts[l] = tensor.New(n, m.cfg.Dim)
+	}
+	scale := m.readoutScale()
+	for i, smp := range batch {
+		g := grads[i] * scale
+		vn := m.itemNode(smp.Item)
+		for l, e := range m.outs {
+			tensor.Axpy(g, e.Row(vn), dOuts[l].Row(smp.User))
+			tensor.Axpy(g, e.Row(smp.User), dOuts[l].Row(vn))
+		}
+	}
+
+	// Back through the layers; dOuts[l-1] accumulates the propagated term.
+	for l := m.cfg.Layers - 1; l >= 0; l-- {
+		dZ := nn.LeakyReLUBackward(m.zs[l], dOuts[l+1], ngcfAlpha)
+		m.w1[l].Grad.AddInPlace(tensor.MatMulATB(m.ps[l], dZ))
+		m.w2[l].Grad.AddInPlace(tensor.MatMulATB(m.hs[l], dZ))
+
+		dP := tensor.MatMulABT(dZ, m.w1[l].W)
+		dH := tensor.MatMulABT(dZ, m.w2[l].W)
+
+		// E_{l-1} enters through three paths:
+		//   P  = (Â+I)E      -> (Â+I)ᵀ dP      (operator is symmetric)
+		//   H  = Q ⊙ E       -> dH ⊙ Q  directly
+		//   Q  = Â E         -> Âᵀ (dH ⊙ E)
+		dOuts[l].AddInPlace(m.adjSelf.MulDense(dP))
+		dOuts[l].AddInPlace(tensor.Hadamard(dH, m.qs[l]))
+		dOuts[l].AddInPlace(m.adj.MulDense(tensor.Hadamard(dH, m.outs[l])))
+	}
+	m.e0.Grad.AddInPlace(dOuts[0])
+	return loss
+}

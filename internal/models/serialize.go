@@ -1,0 +1,164 @@
+package models
+
+import (
+	"fmt"
+	"io"
+
+	"ptffedrec/internal/persist"
+)
+
+// snapshotMagic versions the checkpoint format.
+const snapshotMagic = "PTFREC-MODEL-V1"
+
+// Snapshotter is implemented by models that can persist their parameters.
+// Snapshots carry weights only — optimizer state (Adam moments) restarts on
+// the next update, which matches how inference checkpoints are used.
+type Snapshotter interface {
+	// Snapshot writes the model's parameters to w.
+	Snapshot(w io.Writer) error
+	// Restore loads parameters previously written by Snapshot into this
+	// model. The model must have been constructed with the same Config.
+	Restore(r io.Reader) error
+}
+
+// embSnapshotter is satisfied by both emb.Table and emb.LazyTable.
+type embSnapshotter interface {
+	Snapshot(w io.Writer) error
+	Restore(r io.Reader) error
+}
+
+func writeHeader(w io.Writer, kind Kind) error {
+	if err := persist.WriteString(w, snapshotMagic); err != nil {
+		return err
+	}
+	return persist.WriteString(w, string(kind))
+}
+
+func readHeader(r io.Reader, kind Kind) error {
+	if err := persist.ExpectString(r, snapshotMagic); err != nil {
+		return fmt.Errorf("models: bad snapshot header: %w", err)
+	}
+	if err := persist.ExpectString(r, string(kind)); err != nil {
+		return fmt.Errorf("models: snapshot model kind mismatch: %w", err)
+	}
+	return nil
+}
+
+// Snapshot implements Snapshotter.
+func (m *MF) Snapshot(w io.Writer) error {
+	if err := writeHeader(w, KindMF); err != nil {
+		return err
+	}
+	if err := m.users.(embSnapshotter).Snapshot(w); err != nil {
+		return err
+	}
+	return m.items.(embSnapshotter).Snapshot(w)
+}
+
+// Restore implements Snapshotter.
+func (m *MF) Restore(r io.Reader) error {
+	if err := readHeader(r, KindMF); err != nil {
+		return err
+	}
+	if err := m.users.(embSnapshotter).Restore(r); err != nil {
+		return err
+	}
+	return m.items.(embSnapshotter).Restore(r)
+}
+
+// Snapshot implements Snapshotter.
+func (m *NeuMF) Snapshot(w io.Writer) error {
+	if err := writeHeader(w, KindNeuMF); err != nil {
+		return err
+	}
+	if err := m.users.(embSnapshotter).Snapshot(w); err != nil {
+		return err
+	}
+	if err := m.items.(embSnapshotter).Snapshot(w); err != nil {
+		return err
+	}
+	for _, p := range m.params {
+		if err := persist.WriteFloat64s(w, p.W.Data); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Restore implements Snapshotter.
+func (m *NeuMF) Restore(r io.Reader) error {
+	if err := readHeader(r, KindNeuMF); err != nil {
+		return err
+	}
+	if err := m.users.(embSnapshotter).Restore(r); err != nil {
+		return err
+	}
+	if err := m.items.(embSnapshotter).Restore(r); err != nil {
+		return err
+	}
+	for _, p := range m.params {
+		if err := persist.ReadFloat64sInto(r, p.W.Data); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Snapshot implements Snapshotter.
+func (m *LightGCN) Snapshot(w io.Writer) error {
+	if err := writeHeader(w, KindLightGCN); err != nil {
+		return err
+	}
+	return persist.WriteFloat64s(w, m.e0.W.Data)
+}
+
+// Restore implements Snapshotter.
+func (m *LightGCN) Restore(r io.Reader) error {
+	if err := readHeader(r, KindLightGCN); err != nil {
+		return err
+	}
+	if err := persist.ReadFloat64sInto(r, m.e0.W.Data); err != nil {
+		return err
+	}
+	m.dirty = true
+	return nil
+}
+
+// Snapshot implements Snapshotter.
+func (m *NGCF) Snapshot(w io.Writer) error {
+	if err := writeHeader(w, KindNGCF); err != nil {
+		return err
+	}
+	if err := persist.WriteFloat64s(w, m.e0.W.Data); err != nil {
+		return err
+	}
+	for l := range m.w1 {
+		if err := persist.WriteFloat64s(w, m.w1[l].W.Data); err != nil {
+			return err
+		}
+		if err := persist.WriteFloat64s(w, m.w2[l].W.Data); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Restore implements Snapshotter.
+func (m *NGCF) Restore(r io.Reader) error {
+	if err := readHeader(r, KindNGCF); err != nil {
+		return err
+	}
+	if err := persist.ReadFloat64sInto(r, m.e0.W.Data); err != nil {
+		return err
+	}
+	for l := range m.w1 {
+		if err := persist.ReadFloat64sInto(r, m.w1[l].W.Data); err != nil {
+			return err
+		}
+		if err := persist.ReadFloat64sInto(r, m.w2[l].W.Data); err != nil {
+			return err
+		}
+	}
+	m.dirty = true
+	return nil
+}

@@ -1,0 +1,127 @@
+package models
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// trainedModel builds a model of the given kind, trains it briefly, and
+// returns it.
+func trainedModel(t *testing.T, kind Kind, seed uint64) Recommender {
+	t.Helper()
+	cfg := smallConfig()
+	cfg.Seed = seed
+	m, err := New(kind, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gm, ok := m.(GraphRecommender); ok {
+		gm.SetGraph(smallGraph(cfg))
+	}
+	for i := 0; i < 20; i++ {
+		m.TrainBatch(smallBatch())
+	}
+	return m
+}
+
+func TestSnapshotRestoreAllModels(t *testing.T) {
+	for _, kind := range []Kind{KindMF, KindNeuMF, KindNGCF, KindLightGCN} {
+		src := trainedModel(t, kind, 1)
+		var buf bytes.Buffer
+		if err := src.(Snapshotter).Snapshot(&buf); err != nil {
+			t.Fatalf("%s snapshot: %v", kind, err)
+		}
+
+		// Restore into a model built from a different seed: all scores must
+		// match the source exactly afterwards.
+		dst := trainedModel(t, kind, 99)
+		if gm, ok := dst.(GraphRecommender); ok {
+			gm.SetGraph(smallGraph(smallConfig()))
+		}
+		if err := dst.(Snapshotter).Restore(&buf); err != nil {
+			t.Fatalf("%s restore: %v", kind, err)
+		}
+		for u := 0; u < 4; u++ {
+			for v := 0; v < 6; v++ {
+				a, b := src.Score(u, v), dst.Score(u, v)
+				if math.Abs(a-b) > 1e-12 {
+					t.Fatalf("%s: score(%d,%d) %v != %v after restore", kind, u, v, a, b)
+				}
+			}
+		}
+	}
+}
+
+func TestRestoreRejectsWrongKind(t *testing.T) {
+	src := trainedModel(t, KindMF, 1)
+	var buf bytes.Buffer
+	if err := src.(Snapshotter).Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dst := trainedModel(t, KindNeuMF, 2)
+	if err := dst.(Snapshotter).Restore(&buf); err == nil {
+		t.Fatal("NeuMF restored an MF snapshot")
+	}
+}
+
+func TestRestoreRejectsGarbage(t *testing.T) {
+	dst := trainedModel(t, KindLightGCN, 3)
+	if err := dst.(Snapshotter).Restore(bytes.NewBufferString("not a snapshot")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestRestoreRejectsTruncated(t *testing.T) {
+	src := trainedModel(t, KindNGCF, 4)
+	var buf bytes.Buffer
+	if err := src.(Snapshotter).Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	trunc := bytes.NewReader(buf.Bytes()[:buf.Len()/2])
+	dst := trainedModel(t, KindNGCF, 5)
+	if err := dst.(Snapshotter).Restore(trunc); err == nil {
+		t.Fatal("truncated snapshot accepted")
+	}
+}
+
+func TestLazySnapshotRoundTrip(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Lazy = true
+	a, err := New(KindNeuMF, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		a.TrainBatch(smallBatch())
+	}
+	var buf bytes.Buffer
+	if err := a.(Snapshotter).Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	cfg.Seed = 77
+	b, err := New(KindNeuMF, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.(Snapshotter).Restore(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, smp := range smallBatch() {
+		if math.Abs(a.Score(smp.User, smp.Item)-b.Score(smp.User, smp.Item)) > 1e-12 {
+			t.Fatal("lazy snapshot round trip changed scores")
+		}
+	}
+}
+
+func TestAllModelsImplementSnapshotter(t *testing.T) {
+	for _, kind := range []Kind{KindMF, KindNeuMF, KindNGCF, KindLightGCN} {
+		m, err := New(kind, smallConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := m.(Snapshotter); !ok {
+			t.Fatalf("%s does not implement Snapshotter", kind)
+		}
+	}
+}

@@ -1,0 +1,59 @@
+package nn
+
+import (
+	"fmt"
+
+	"ptffedrec/internal/rng"
+	"ptffedrec/internal/tensor"
+)
+
+// Dense is a fully connected layer computing y = x·W + b for a batch of row
+// vectors x.
+type Dense struct {
+	In, Out int
+	W       *Param // In×Out
+	B       *Param // 1×Out
+}
+
+// NewDense returns a Dense layer with Xavier-initialized weights and zero
+// bias.
+func NewDense(name string, in, out int, s *rng.Stream) *Dense {
+	d := &Dense{
+		In:  in,
+		Out: out,
+		W:   NewParam(name+".W", in, out),
+		B:   NewParam(name+".b", 1, out),
+	}
+	Xavier(s, d.W.W, in, out)
+	return d
+}
+
+// Forward computes x·W + b. x is batch×In; the result is batch×Out.
+func (d *Dense) Forward(x *tensor.Matrix) *tensor.Matrix {
+	if x.Cols != d.In {
+		panic(fmt.Sprintf("nn: Dense %s forward with %d inputs, want %d", d.W.Name, x.Cols, d.In))
+	}
+	y := tensor.MatMul(x, d.W.W)
+	for i := 0; i < y.Rows; i++ {
+		tensor.AddVec(d.B.W.Row(0), y.Row(i))
+	}
+	return y
+}
+
+// Backward accumulates dW = xᵀ·dy and db = Σ dy into the layer's gradients
+// and returns dx = dy·Wᵀ. x must be the same batch passed to Forward.
+func (d *Dense) Backward(x, dy *tensor.Matrix) *tensor.Matrix {
+	if dy.Cols != d.Out || x.Rows != dy.Rows {
+		panic(fmt.Sprintf("nn: Dense %s backward shapes x=%dx%d dy=%dx%d",
+			d.W.Name, x.Rows, x.Cols, dy.Rows, dy.Cols))
+	}
+	d.W.Grad.AddInPlace(tensor.MatMulATB(x, dy))
+	brow := d.B.Grad.Row(0)
+	for i := 0; i < dy.Rows; i++ {
+		tensor.AddVec(dy.Row(i), brow)
+	}
+	return tensor.MatMulABT(dy, d.W.W)
+}
+
+// Params returns the layer's trainable parameters.
+func (d *Dense) Params() []*Param { return []*Param{d.W, d.B} }

@@ -1,0 +1,51 @@
+package nn
+
+import "math"
+
+// bceEps clamps predictions away from 0 and 1 so log never overflows. The
+// paper's losses (Eq. 3 and Eq. 5) are binary cross-entropy with hard labels
+// on the client's own data and soft labels everywhere else.
+const bceEps = 1e-7
+
+// BCE returns the mean binary cross-entropy between predictions (post
+// sigmoid) and targets in [0,1].
+func BCE(pred, target []float64) float64 {
+	if len(pred) != len(target) {
+		panic("nn: BCE length mismatch")
+	}
+	if len(pred) == 0 {
+		return 0
+	}
+	var sum float64
+	for i, p := range pred {
+		p = clamp01(p)
+		t := target[i]
+		sum += -(t*math.Log(p) + (1-t)*math.Log(1-p))
+	}
+	return sum / float64(len(pred))
+}
+
+// BCELogitGrad returns dL/dlogit for the sigmoid+BCE composition with mean
+// reduction: (σ(logit) − target) / n. Passing the already-computed prediction
+// avoids recomputing the sigmoid.
+func BCELogitGrad(pred, target []float64) []float64 {
+	if len(pred) != len(target) {
+		panic("nn: BCELogitGrad length mismatch")
+	}
+	n := float64(len(pred))
+	out := make([]float64, len(pred))
+	for i, p := range pred {
+		out[i] = (p - target[i]) / n
+	}
+	return out
+}
+
+func clamp01(p float64) float64 {
+	if p < bceEps {
+		return bceEps
+	}
+	if p > 1-bceEps {
+		return 1 - bceEps
+	}
+	return p
+}

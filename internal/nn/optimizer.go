@@ -1,0 +1,93 @@
+package nn
+
+import (
+	"math"
+
+	"ptffedrec/internal/tensor"
+)
+
+// Optimizer applies accumulated gradients to parameters and clears them.
+type Optimizer interface {
+	// Step updates every parameter from its gradient and zeroes the
+	// gradients.
+	Step(params []*Param)
+}
+
+// SGD is plain stochastic gradient descent with optional L2 weight decay.
+type SGD struct {
+	LR          float64
+	WeightDecay float64
+}
+
+// Step applies p.W -= lr * (p.Grad + wd*p.W) and zeroes gradients.
+func (o *SGD) Step(params []*Param) {
+	for _, p := range params {
+		for i, g := range p.Grad.Data {
+			p.W.Data[i] -= o.LR * (g + o.WeightDecay*p.W.Data[i])
+		}
+		p.ZeroGrad()
+	}
+}
+
+// Adam implements Kingma & Ba (2014) with per-parameter moment state. The
+// paper uses Adam with lr = 1e-3 for every model.
+type Adam struct {
+	LR, Beta1, Beta2, Eps float64
+	WeightDecay           float64
+
+	state map[*Param]*adamState
+}
+
+type adamState struct {
+	m, v *tensor.Matrix
+	t    int
+}
+
+// NewAdam returns an Adam optimizer with the standard β₁=0.9, β₂=0.999,
+// ε=1e-8 defaults.
+func NewAdam(lr float64) *Adam {
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8, state: map[*Param]*adamState{}}
+}
+
+// Step applies one Adam update to every parameter and zeroes gradients.
+func (o *Adam) Step(params []*Param) {
+	for _, p := range params {
+		st, ok := o.state[p]
+		if !ok {
+			st = &adamState{m: tensor.New(p.W.Rows, p.W.Cols), v: tensor.New(p.W.Rows, p.W.Cols)}
+			o.state[p] = st
+		}
+		st.t++
+		bc1 := 1 - math.Pow(o.Beta1, float64(st.t))
+		bc2 := 1 - math.Pow(o.Beta2, float64(st.t))
+		for i, g := range p.Grad.Data {
+			g += o.WeightDecay * p.W.Data[i]
+			st.m.Data[i] = o.Beta1*st.m.Data[i] + (1-o.Beta1)*g
+			st.v.Data[i] = o.Beta2*st.v.Data[i] + (1-o.Beta2)*g*g
+			mHat := st.m.Data[i] / bc1
+			vHat := st.v.Data[i] / bc2
+			p.W.Data[i] -= o.LR * mHat / (math.Sqrt(vHat) + o.Eps)
+		}
+		p.ZeroGrad()
+	}
+}
+
+// ClipGradNorm rescales all gradients so their global L2 norm is at most
+// maxNorm, returning the pre-clip norm. Stabilises the early rounds of the
+// graph models on sparse uploads.
+func ClipGradNorm(params []*Param, maxNorm float64) float64 {
+	var total float64
+	for _, p := range params {
+		for _, g := range p.Grad.Data {
+			total += g * g
+		}
+	}
+	norm := math.Sqrt(total)
+	if norm > maxNorm && norm > 0 {
+		scale := maxNorm / norm
+		for _, p := range params {
+			p.Grad.Scale(scale)
+		}
+	}
+	return norm
+}

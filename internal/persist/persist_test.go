@@ -1,0 +1,118 @@
+package persist
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestFloat64sRoundTrip(t *testing.T) {
+	f := func(xs []float64) bool {
+		var buf bytes.Buffer
+		if err := WriteFloat64s(&buf, xs); err != nil {
+			return false
+		}
+		back, err := ReadFloat64s(&buf)
+		if err != nil || len(back) != len(xs) {
+			return false
+		}
+		for i := range xs {
+			same := back[i] == xs[i] || (math.IsNaN(back[i]) && math.IsNaN(xs[i]))
+			if !same {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteString(&buf, "hello κόσμε"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadString(&buf)
+	if err != nil || got != "hello κόσμε" {
+		t.Fatalf("ReadString = %q, %v", got, err)
+	}
+}
+
+func TestIntsRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	in := []int{0, -5, 42, 1 << 40}
+	if err := WriteInts(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadInts(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range in {
+		if got[i] != in[i] {
+			t.Fatalf("ints[%d] = %d", i, got[i])
+		}
+	}
+}
+
+func TestReadFloat64sIntoLengthCheck(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFloat64s(&buf, []float64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]float64, 3)
+	if err := ReadFloat64sInto(&buf, dst); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestExpectString(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteString(&buf, "MAGIC"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ExpectString(&buf, "MAGIC"); err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := WriteString(&buf, "WRONG"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ExpectString(&buf, "MAGIC"); err == nil {
+		t.Fatal("wrong magic accepted")
+	}
+}
+
+func TestTruncatedInputErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFloat64s(&buf, []float64{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	trunc := bytes.NewReader(buf.Bytes()[:buf.Len()-4])
+	if _, err := ReadFloat64s(trunc); err == nil {
+		t.Fatal("truncated input accepted")
+	}
+	if _, err := ReadUint64(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}
+
+func TestHugeLengthRejected(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteUint64(&buf, 1<<62); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFloat64s(&buf); err == nil {
+		t.Fatal("giant length accepted")
+	}
+	buf.Reset()
+	if err := WriteUint64(&buf, 1<<62); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadString(&buf); err == nil {
+		t.Fatal("giant string length accepted")
+	}
+}

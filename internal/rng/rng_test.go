@@ -1,0 +1,206 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestDeriveIndependentOfConsumption(t *testing.T) {
+	a := New(1)
+	a.Float64()
+	a.Float64()
+	b := New(1)
+	if a.Derive("x").Float64() != b.Derive("x").Float64() {
+		t.Fatal("Derive depends on parent consumption")
+	}
+}
+
+func TestDeriveDistinctNames(t *testing.T) {
+	s := New(5)
+	x := s.Derive("alpha").Float64()
+	y := s.Derive("beta").Float64()
+	if x == y {
+		t.Fatal("distinct names produced identical streams (collision)")
+	}
+}
+
+func TestDeriveNDistinct(t *testing.T) {
+	s := New(9)
+	seen := map[float64]bool{}
+	for i := 0; i < 50; i++ {
+		v := s.DeriveN("client", i).Float64()
+		if seen[v] {
+			t.Fatalf("DeriveN collision at %d", i)
+		}
+		seen[v] = true
+	}
+}
+
+func TestIntRangeBounds(t *testing.T) {
+	s := New(3)
+	for i := 0; i < 1000; i++ {
+		v := s.IntRange(2, 5)
+		if v < 2 || v > 5 {
+			t.Fatalf("IntRange(2,5) = %d", v)
+		}
+	}
+}
+
+func TestFloat64RangeBounds(t *testing.T) {
+	s := New(3)
+	for i := 0; i < 1000; i++ {
+		v := s.Float64Range(0.1, 1.0)
+		if v < 0.1 || v >= 1.0 {
+			t.Fatalf("Float64Range = %v", v)
+		}
+	}
+}
+
+func TestSampleIntsDistinct(t *testing.T) {
+	s := New(7)
+	for _, k := range []int{0, 1, 5, 50, 99, 100, 150} {
+		got := s.SampleInts(100, k)
+		wantLen := k
+		if k > 100 {
+			wantLen = 100
+		}
+		if len(got) != wantLen {
+			t.Fatalf("SampleInts(100,%d) len = %d", k, len(got))
+		}
+		seen := map[int]bool{}
+		for _, v := range got {
+			if v < 0 || v >= 100 {
+				t.Fatalf("SampleInts out of range: %d", v)
+			}
+			if seen[v] {
+				t.Fatalf("SampleInts duplicate: %d", v)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestSampleIntsUniformish(t *testing.T) {
+	// Every element should be selected roughly equally often.
+	s := New(11)
+	counts := make([]int, 20)
+	const trials = 20000
+	for i := 0; i < trials; i++ {
+		for _, v := range s.SampleInts(20, 3) {
+			counts[v]++
+		}
+	}
+	want := float64(trials) * 3 / 20
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > want*0.15 {
+			t.Fatalf("element %d drawn %d times, want ≈%v", i, c, want)
+		}
+	}
+}
+
+func TestSampleSlice(t *testing.T) {
+	s := New(13)
+	xs := []string{"a", "b", "c", "d"}
+	got := SampleSlice(s, xs, 2)
+	if len(got) != 2 || got[0] == got[1] {
+		t.Fatalf("SampleSlice -> %v", got)
+	}
+}
+
+func TestLaplaceSymmetricZeroMean(t *testing.T) {
+	s := New(17)
+	var sum float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += s.Laplace(1.0)
+	}
+	if math.Abs(sum/n) > 0.02 {
+		t.Fatalf("Laplace mean = %v, want ≈0", sum/n)
+	}
+}
+
+func TestLaplaceScale(t *testing.T) {
+	// Var(Laplace(b)) = 2b². Check empirically for b = 2.
+	s := New(19)
+	const n = 200000
+	var ss float64
+	for i := 0; i < n; i++ {
+		v := s.Laplace(2.0)
+		ss += v * v
+	}
+	got := ss / n
+	if math.Abs(got-8) > 0.5 {
+		t.Fatalf("Laplace(2) variance = %v, want ≈8", got)
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	s := New(23)
+	z := NewZipf(s, 100, 1.0)
+	counts := make([]int, 100)
+	for i := 0; i < 50000; i++ {
+		counts[z.Draw()]++
+	}
+	if counts[0] <= counts[50] {
+		t.Fatalf("Zipf not skewed: head %d vs mid %d", counts[0], counts[50])
+	}
+	// Head rank should account for roughly 1/H(100) ≈ 19% of mass.
+	frac := float64(counts[0]) / 50000
+	if frac < 0.12 || frac > 0.28 {
+		t.Fatalf("Zipf head mass = %v, want ≈0.19", frac)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	f := func(seed uint64) bool {
+		p := New(seed).Perm(30)
+		seen := map[int]bool{}
+		for _, v := range p {
+			if v < 0 || v >= 30 || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return len(p) == 30
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBernoulliRate(t *testing.T) {
+	s := New(29)
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if s.Bernoulli(0.3) {
+			hits++
+		}
+	}
+	if math.Abs(float64(hits)/n-0.3) > 0.01 {
+		t.Fatalf("Bernoulli(0.3) rate = %v", float64(hits)/n)
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	s := New(31)
+	var sum float64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += s.Exponential(2.0)
+	}
+	if math.Abs(sum/n-0.5) > 0.02 {
+		t.Fatalf("Exp(2) mean = %v, want 0.5", sum/n)
+	}
+}

@@ -1,0 +1,122 @@
+package tensor
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Triplet is one non-zero entry of a sparse matrix under construction.
+type Triplet struct {
+	Row, Col int
+	Val      float64
+}
+
+// CSR is a compressed sparse row matrix. It is immutable after construction;
+// the graph recommenders build one normalized adjacency per round and reuse it
+// for every propagation.
+type CSR struct {
+	Rows, Cols int
+	RowPtr     []int     // len Rows+1
+	ColIdx     []int     // len NNZ
+	Val        []float64 // len NNZ
+}
+
+// NewCSR builds a CSR matrix from triplets. Duplicate (row, col) entries are
+// summed. The triplet slice is not retained.
+func NewCSR(rows, cols int, entries []Triplet) *CSR {
+	for _, t := range entries {
+		if t.Row < 0 || t.Row >= rows || t.Col < 0 || t.Col >= cols {
+			panic(fmt.Sprintf("tensor: CSR entry (%d,%d) outside %dx%d", t.Row, t.Col, rows, cols))
+		}
+	}
+	sorted := make([]Triplet, len(entries))
+	copy(sorted, entries)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Row != sorted[j].Row {
+			return sorted[i].Row < sorted[j].Row
+		}
+		return sorted[i].Col < sorted[j].Col
+	})
+	m := &CSR{Rows: rows, Cols: cols, RowPtr: make([]int, rows+1)}
+	for i := 0; i < len(sorted); {
+		j := i + 1
+		v := sorted[i].Val
+		for j < len(sorted) && sorted[j].Row == sorted[i].Row && sorted[j].Col == sorted[i].Col {
+			v += sorted[j].Val
+			j = j + 1
+		}
+		m.ColIdx = append(m.ColIdx, sorted[i].Col)
+		m.Val = append(m.Val, v)
+		m.RowPtr[sorted[i].Row+1]++
+		i = j
+	}
+	for r := 0; r < rows; r++ {
+		m.RowPtr[r+1] += m.RowPtr[r]
+	}
+	return m
+}
+
+// NNZ returns the number of stored entries.
+func (m *CSR) NNZ() int { return len(m.Val) }
+
+// RowNNZ returns the number of stored entries in row i.
+func (m *CSR) RowNNZ(i int) int { return m.RowPtr[i+1] - m.RowPtr[i] }
+
+// MulDense returns m·x as a new dense matrix (m is r×c, x is c×n).
+func (m *CSR) MulDense(x *Matrix) *Matrix {
+	out := New(m.Rows, x.Cols)
+	m.MulDenseInto(out, x)
+	return out
+}
+
+// MulDenseInto computes dst = m·x, reusing dst's storage.
+func (m *CSR) MulDenseInto(dst, x *Matrix) {
+	if m.Cols != x.Rows || dst.Rows != m.Rows || dst.Cols != x.Cols {
+		panic(fmt.Sprintf("tensor: CSR MulDenseInto %dx%d = %dx%d · %dx%d",
+			dst.Rows, dst.Cols, m.Rows, m.Cols, x.Rows, x.Cols))
+	}
+	dst.Zero()
+	for i := 0; i < m.Rows; i++ {
+		drow := dst.Row(i)
+		for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
+			Axpy(m.Val[p], x.Row(m.ColIdx[p]), drow)
+		}
+	}
+}
+
+// MulDenseTInto computes dst = mᵀ·x (m is r×c, x is r×n, dst c×n). Used for
+// backpropagation through asymmetric propagation operators.
+func (m *CSR) MulDenseTInto(dst, x *Matrix) {
+	if m.Rows != x.Rows || dst.Rows != m.Cols || dst.Cols != x.Cols {
+		panic(fmt.Sprintf("tensor: CSR MulDenseTInto %dx%d = (%dx%d)ᵀ · %dx%d",
+			dst.Rows, dst.Cols, m.Rows, m.Cols, x.Rows, x.Cols))
+	}
+	dst.Zero()
+	for i := 0; i < m.Rows; i++ {
+		xrow := x.Row(i)
+		for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
+			Axpy(m.Val[p], xrow, dst.Row(m.ColIdx[p]))
+		}
+	}
+}
+
+// At returns the value at (i, j), 0 if not stored. O(log nnz(row)).
+func (m *CSR) At(i, j int) float64 {
+	lo, hi := m.RowPtr[i], m.RowPtr[i+1]
+	idx := sort.SearchInts(m.ColIdx[lo:hi], j)
+	if idx < hi-lo && m.ColIdx[lo+idx] == j {
+		return m.Val[lo+idx]
+	}
+	return 0
+}
+
+// Dense expands the sparse matrix into a dense one (tests and debugging).
+func (m *CSR) Dense() *Matrix {
+	out := New(m.Rows, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
+			out.Set(i, m.ColIdx[p], m.Val[p])
+		}
+	}
+	return out
+}

@@ -1,0 +1,84 @@
+package tensor
+
+import "math"
+
+// Dot returns the inner product of a and b. The slices must have equal length.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("tensor: Dot length mismatch")
+	}
+	var s float64
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}
+
+// Axpy computes y += a*x in place.
+func Axpy(a float64, x, y []float64) {
+	if len(x) != len(y) {
+		panic("tensor: Axpy length mismatch")
+	}
+	for i, v := range x {
+		y[i] += a * v
+	}
+}
+
+// ScaleVec multiplies x by a in place.
+func ScaleVec(a float64, x []float64) {
+	for i := range x {
+		x[i] *= a
+	}
+}
+
+// AddVec computes y += x in place.
+func AddVec(x, y []float64) {
+	if len(x) != len(y) {
+		panic("tensor: AddVec length mismatch")
+	}
+	for i, v := range x {
+		y[i] += v
+	}
+}
+
+// MulVec computes y[i] *= x[i] in place.
+func MulVec(x, y []float64) {
+	if len(x) != len(y) {
+		panic("tensor: MulVec length mismatch")
+	}
+	for i, v := range x {
+		y[i] *= v
+	}
+}
+
+// NormVec returns the Euclidean norm of x.
+func NormVec(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// SumVec returns the sum of the elements of x.
+func SumVec(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += v
+	}
+	return s
+}
+
+// ZeroVec sets every element of x to 0.
+func ZeroVec(x []float64) {
+	for i := range x {
+		x[i] = 0
+	}
+}
+
+// CloneVec returns a copy of x.
+func CloneVec(x []float64) []float64 {
+	c := make([]float64, len(x))
+	copy(c, x)
+	return c
+}
