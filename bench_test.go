@@ -84,3 +84,11 @@ func BenchmarkAblationServerGraph(b *testing.B) { runExperimentBench(b, "ablatio
 // BenchmarkAblationNoiseFrontier traces the swap-vs-Laplace privacy/utility
 // frontier.
 func BenchmarkAblationNoiseFrontier(b *testing.B) { runExperimentBench(b, "ablation-noise") }
+
+// BenchmarkScalability sweeps the parallel round engine and evaluator over
+// worker counts on the large-scale profile (50k users at -scale full),
+// reporting rounds/sec and eval-time per worker count plus a determinism
+// cross-check. At GOMAXPROCS >= 4 the eval speedup row is expected to reach
+// 2x or better; on smaller hosts the sweep still verifies worker-count
+// invariance.
+func BenchmarkScalability(b *testing.B) { runExperimentBench(b, "scalability") }

@@ -5,11 +5,13 @@
 //	ptfbench -exp table3                 # small-scale, full training
 //	ptfbench -exp table4 -scale full     # paper-sized datasets
 //	ptfbench -exp fig3 -quick            # shortened training (smoke run)
+//	ptfbench -exp scalability -json      # machine-readable timing sweep
 //	ptfbench -list                       # list experiment ids
 //	ptfbench -exp all                    # run everything
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -19,6 +21,18 @@ import (
 	"ptffedrec/internal/experiments"
 )
 
+// jsonRecord is the machine-readable envelope emitted per experiment under
+// -json: one JSON object per line, suitable for the BENCH_*.json perf
+// trajectory and other tooling.
+type jsonRecord struct {
+	Experiment string  `json:"experiment"`
+	Scale      string  `json:"scale"`
+	Quick      bool    `json:"quick"`
+	Seed       uint64  `json:"seed"`
+	Seconds    float64 `json:"seconds"`
+	Result     any     `json:"result"`
+}
+
 func main() {
 	var (
 		exp     = flag.String("exp", "", "experiment id (or 'all')")
@@ -27,6 +41,7 @@ func main() {
 		seed    = flag.Uint64("seed", 1, "experiment seed")
 		list    = flag.Bool("list", false, "list experiment ids and exit")
 		verbose = flag.Bool("v", false, "log per-run progress")
+		asJSON  = flag.Bool("json", false, "emit one JSON object per experiment instead of tables")
 	)
 	flag.Parse()
 
@@ -58,12 +73,31 @@ func main() {
 	if *exp == "all" {
 		ids = ptffedrec.ExperimentIDs
 	}
+	enc := json.NewEncoder(os.Stdout)
 	for _, id := range ids {
 		start := time.Now()
-		if err := ptffedrec.RunExperiment(id, o, os.Stdout); err != nil {
+		res, err := experiments.ResultFor(id, o)
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "ptfbench: %s: %v\n", id, err)
 			os.Exit(1)
 		}
-		fmt.Printf("  (%s finished in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+		elapsed := time.Since(start)
+		if *asJSON {
+			rec := jsonRecord{
+				Experiment: id,
+				Scale:      string(o.Scale),
+				Quick:      o.Quick,
+				Seed:       o.Seed,
+				Seconds:    elapsed.Seconds(),
+				Result:     res,
+			}
+			if err := enc.Encode(rec); err != nil {
+				fmt.Fprintf(os.Stderr, "ptfbench: %s: %v\n", id, err)
+				os.Exit(1)
+			}
+			continue
+		}
+		res.Print(os.Stdout)
+		fmt.Printf("  (%s finished in %v)\n\n", id, elapsed.Round(time.Millisecond))
 	}
 }

@@ -1,0 +1,3 @@
+module ptffedrec
+
+go 1.24

@@ -53,6 +53,20 @@ var (
 	GowallaSmall = Profile{Name: "gowalla-small", NumUsers: 300, NumItems: 420,
 		Interactions: 2900, ZipfExponent: 1.0, Clusters: 10, ClusterBias: 0.75, MinPerUser: 5}
 
+	// LargeScale is the cross-device scalability workload: 50k users — far
+	// past the paper's datasets — with a catalogue and density in the Gowalla
+	// regime. It exists to stress the parallel round engine and evaluator
+	// (the scalability experiment and BenchmarkScalability), not to mirror a
+	// particular public dataset.
+	LargeScale = Profile{Name: "large-50k", NumUsers: 50000, NumItems: 4000,
+		Interactions: 1000000, ZipfExponent: 1.05, Clusters: 40, ClusterBias: 0.7, MinPerUser: 6}
+
+	// LargeScaleSmall is the scaled-down variant the default (small-scale)
+	// scalability runs use: the same shape at a size where a full
+	// worker-count sweep finishes in seconds.
+	LargeScaleSmall = Profile{Name: "large-50k-small", NumUsers: 6000, NumItems: 900,
+		Interactions: 90000, ZipfExponent: 1.05, Clusters: 16, ClusterBias: 0.7, MinPerUser: 5}
+
 	// Tiny is for unit tests.
 	Tiny = Profile{Name: "tiny", NumUsers: 40, NumItems: 60,
 		Interactions: 360, ZipfExponent: 1.0, Clusters: 4, ClusterBias: 0.7, MinPerUser: 5}
@@ -60,7 +74,7 @@ var (
 
 // ProfileByName resolves a profile from its Name field.
 func ProfileByName(name string) (Profile, error) {
-	for _, p := range []Profile{ML100K, Steam200K, Gowalla, ML100KSmall, SteamSmall, GowallaSmall, Tiny} {
+	for _, p := range []Profile{ML100K, Steam200K, Gowalla, ML100KSmall, SteamSmall, GowallaSmall, LargeScale, LargeScaleSmall, Tiny} {
 		if p.Name == name {
 			return p, nil
 		}

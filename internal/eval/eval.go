@@ -1,15 +1,26 @@
 // Package eval computes the paper's ranking metrics (§IV-B): Recall@20 and
 // NDCG@20 over every item the user has not interacted with in training, with
 // the held-out 20% as relevance targets.
+//
+// Evaluation is embarrassingly parallel across users, and once per-round
+// traffic is kilobytes it dominates server-side wall-clock, so Ranking fans
+// the user loop out over a worker pool. Per-user metric values are written to
+// index-addressed slots and reduced sequentially in user order, so the result
+// is bitwise-identical for every worker count.
 package eval
 
 import (
 	"ptffedrec/internal/data"
 	"ptffedrec/internal/metrics"
+	"ptffedrec/internal/par"
 )
 
 // Scorer scores one user against a list of candidate items. models.Recommender
 // satisfies this; federated clients adapt it to their local user index.
+//
+// A Scorer handed to Ranking must tolerate concurrent ScoreItems calls for
+// distinct users (Ranking never scores the same user from two goroutines).
+// Scorers whose first call lazily builds shared state should implement Warmer.
 type Scorer interface {
 	ScoreItems(u int, items []int) []float64
 }
@@ -20,40 +31,97 @@ type ScorerFunc func(u int, items []int) []float64
 // ScoreItems implements Scorer.
 func (f ScorerFunc) ScoreItems(u int, items []int) []float64 { return f(u, items) }
 
+// Warmer is an optional Scorer extension. WarmScoring precomputes any lazily
+// cached shared state (e.g. a graph model's propagated embeddings) so that
+// subsequent ScoreItems calls are read-only and safe to issue concurrently.
+// Ranking invokes it once before fanning out to workers.
+type Warmer interface {
+	WarmScoring()
+}
+
 // Result holds user-averaged ranking metrics.
 type Result struct {
 	Recall, NDCG float64
 	Users        int
 }
 
-// Ranking evaluates the scorer on a split at cutoff k. For each user with
-// held-out items, every non-train item is scored; train positives are
-// excluded from the candidate list.
+// Ranking evaluates the scorer on a split at cutoff k with GOMAXPROCS
+// workers. For each user with held-out items, every non-train item is scored;
+// train positives are excluded from the candidate list.
 func Ranking(s Scorer, sp *data.Split, k int) Result {
-	var agg metrics.RankEval
-	candidates := make([]int, 0, sp.NumItems)
+	return RankingWorkers(s, sp, k, 0)
+}
+
+// RankingWorkers is Ranking with an explicit worker count (<= 0 means
+// GOMAXPROCS). Metrics are bitwise-identical for every worker count: per-user
+// values depend only on the scorer, and the reduction runs sequentially in
+// user order.
+func RankingWorkers(s Scorer, sp *data.Split, k, workers int) Result {
+	users := make([]int, 0, sp.NumUsers)
 	for u := 0; u < sp.NumUsers; u++ {
-		if len(sp.Test[u]) == 0 {
-			continue
+		if len(sp.Test[u]) > 0 {
+			users = append(users, u)
 		}
-		candidates = candidates[:0]
-		for v := 0; v < sp.NumItems; v++ {
-			if !sp.InTrain(u, v) {
-				candidates = append(candidates, v)
+	}
+	if len(users) == 0 {
+		return Result{}
+	}
+	workers = par.Workers(workers)
+	if workers > 1 {
+		if w, ok := s.(Warmer); ok {
+			w.WarmScoring()
+		}
+	}
+	recalls := make([]float64, len(users))
+	ndcgs := make([]float64, len(users))
+	if workers <= 1 {
+		buf := make([]int, 0, sp.NumItems)
+		for i, u := range users {
+			recalls[i], ndcgs[i] = evalUser(s, sp, u, k, &buf)
+		}
+	} else {
+		// Chunk users so each worker reuses one candidate buffer across its
+		// whole share instead of allocating per user.
+		chunk := (len(users) + workers - 1) / workers
+		nChunks := (len(users) + chunk - 1) / chunk
+		par.For(nChunks, workers, func(c int) {
+			lo, hi := c*chunk, (c+1)*chunk
+			if hi > len(users) {
+				hi = len(users)
 			}
-		}
-		scores := s.ScoreItems(u, candidates)
-		top := metrics.TopK(scores, k)
-		ranked := make([]int, len(top))
-		for i, idx := range top {
-			ranked[i] = candidates[idx]
-		}
-		relevant := make(map[int]bool, len(sp.Test[u]))
-		for _, v := range sp.Test[u] {
-			relevant[v] = true
-		}
-		agg.Add(ranked, relevant, k)
+			buf := make([]int, 0, sp.NumItems)
+			for i := lo; i < hi; i++ {
+				recalls[i], ndcgs[i] = evalUser(s, sp, users[i], k, &buf)
+			}
+		})
+	}
+	var agg metrics.RankEval
+	for i := range users {
+		agg.AddUser(recalls[i], ndcgs[i])
 	}
 	r, n := agg.Mean()
 	return Result{Recall: r, NDCG: n, Users: agg.Users}
+}
+
+// evalUser scores one user's full candidate list and returns its Recall@k and
+// NDCG@k. buf is a reusable candidate buffer owned by the calling goroutine.
+func evalUser(s Scorer, sp *data.Split, u, k int, buf *[]int) (recall, ndcg float64) {
+	candidates := (*buf)[:0]
+	for v := 0; v < sp.NumItems; v++ {
+		if !sp.InTrain(u, v) {
+			candidates = append(candidates, v)
+		}
+	}
+	*buf = candidates
+	scores := s.ScoreItems(u, candidates)
+	top := metrics.TopK(scores, k)
+	ranked := make([]int, len(top))
+	for i, idx := range top {
+		ranked[i] = candidates[idx]
+	}
+	relevant := make(map[int]bool, len(sp.Test[u]))
+	for _, v := range sp.Test[u] {
+		relevant[v] = true
+	}
+	return metrics.RecallAtK(ranked, relevant, k), metrics.NDCGAtK(ranked, relevant, k)
 }

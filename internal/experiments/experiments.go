@@ -184,5 +184,5 @@ type Cell struct {
 // ExperimentIDs lists every runnable experiment for the CLI.
 var ExperimentIDs = []string{
 	"table2", "table3", "table4", "table5", "table6", "table7", "table8",
-	"fig3", "fig4", "ablation-servergraph", "ablation-noise",
+	"fig3", "fig4", "ablation-servergraph", "ablation-noise", "scalability",
 }

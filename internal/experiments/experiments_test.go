@@ -42,6 +42,9 @@ func TestRunTable2(t *testing.T) {
 }
 
 func TestRunTable3Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment grid; skipped in -short")
+	}
 	res, err := RunTable3(testOptions())
 	if err != nil {
 		t.Fatal(err)
@@ -93,6 +96,9 @@ func TestRunTable4CommunicationOrdering(t *testing.T) {
 }
 
 func TestRunTable5AndTable6(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment grid; skipped in -short")
+	}
 	res, err := RunTable5(testOptions())
 	if err != nil {
 		t.Fatal(err)
@@ -121,6 +127,9 @@ func TestRunTable5AndTable6(t *testing.T) {
 }
 
 func TestRunTable7Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment grid; skipped in -short")
+	}
 	res, err := RunTable7(testOptions())
 	if err != nil {
 		t.Fatal(err)
@@ -136,6 +145,9 @@ func TestRunTable7Shape(t *testing.T) {
 }
 
 func TestRunTable8Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment grid; skipped in -short")
+	}
 	res, err := RunTable8(testOptions())
 	if err != nil {
 		t.Fatal(err)
@@ -151,6 +163,9 @@ func TestRunTable8Shape(t *testing.T) {
 }
 
 func TestRunFig4Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment grid; skipped in -short")
+	}
 	res, err := RunFig4(testOptions())
 	if err != nil {
 		t.Fatal(err)

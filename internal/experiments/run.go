@@ -5,74 +5,56 @@ import (
 	"io"
 )
 
-// Run executes one experiment by id and prints its result to w. It is the
-// entry point behind `ptfbench -exp <id>` and the root-level benchmarks.
-func Run(id string, o Options, w io.Writer) error {
+// Renderer is implemented by every experiment result: Print writes the
+// paper-style table. The concrete types behind it are plain structs, so they
+// also serialise directly to JSON (ptfbench -json).
+type Renderer interface {
+	Print(w io.Writer)
+}
+
+// ResultFor executes one experiment by id and returns its typed result.
+func ResultFor(id string, o Options) (Renderer, error) {
 	switch id {
 	case "table2":
-		RunTable2(o).Print(w)
+		return RunTable2(o), nil
 	case "table3":
-		res, err := RunTable3(o)
-		if err != nil {
-			return err
-		}
-		res.Print(w)
+		return RunTable3(o)
 	case "table4":
-		res, err := RunTable4(o)
-		if err != nil {
-			return err
-		}
-		res.Print(w)
+		return RunTable4(o)
 	case "table5":
-		res, err := RunTable5(o)
-		if err != nil {
-			return err
-		}
-		res.Print(w)
+		return RunTable5(o)
 	case "table6":
 		t5, err := RunTable5(o)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		DeriveTable6(t5).Print(w)
+		return DeriveTable6(t5), nil
 	case "table7":
-		res, err := RunTable7(o)
-		if err != nil {
-			return err
-		}
-		res.Print(w)
+		return RunTable7(o)
 	case "table8":
-		res, err := RunTable8(o)
-		if err != nil {
-			return err
-		}
-		res.Print(w)
+		return RunTable8(o)
 	case "fig3":
-		res, err := RunFig3(o)
-		if err != nil {
-			return err
-		}
-		res.Print(w)
+		return RunFig3(o)
 	case "fig4":
-		res, err := RunFig4(o)
-		if err != nil {
-			return err
-		}
-		res.Print(w)
+		return RunFig4(o)
 	case "ablation-servergraph":
-		res, err := RunAblationServerGraph(o)
-		if err != nil {
-			return err
-		}
-		res.Print(w)
+		return RunAblationServerGraph(o)
 	case "ablation-noise":
-		res, err := RunAblationNoise(o)
-		if err != nil {
-			return err
-		}
-		res.Print(w)
+		return RunAblationNoise(o)
+	case "scalability":
+		return RunScalability(o)
 	default:
-		return fmt.Errorf("experiments: unknown experiment %q (known: %v)", id, ExperimentIDs)
+		return nil, fmt.Errorf("experiments: unknown experiment %q (known: %v)", id, ExperimentIDs)
 	}
+}
+
+// Run executes one experiment by id and prints its result to w. It is the
+// entry point behind `ptfbench -exp <id>` and the root-level benchmarks.
+func Run(id string, o Options, w io.Writer) error {
+	res, err := ResultFor(id, o)
+	if err != nil {
+		return err
+	}
+	res.Print(w)
 	return nil
 }

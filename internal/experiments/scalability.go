@@ -1,0 +1,200 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"ptffedrec/internal/data"
+	"ptffedrec/internal/eval"
+	"ptffedrec/internal/fed"
+	"ptffedrec/internal/models"
+)
+
+// ScalabilityRow records one worker count's timings on the large-scale
+// profile. Speedups are relative to the workers=1 row.
+type ScalabilityRow struct {
+	Workers      int     `json:"workers"`
+	RoundSecs    float64 `json:"round_secs"`     // mean wall-clock per global round
+	RoundsPerSec float64 `json:"rounds_per_sec"` // 1/RoundSecs
+	RoundSpeedup float64 `json:"round_speedup"`  // vs workers=1
+	EvalSecs     float64 `json:"eval_secs"`      // one full eval.Ranking pass
+	EvalSpeedup  float64 `json:"eval_speedup"`   // vs workers=1
+	Recall       float64 `json:"recall"`         // must match across rows
+	NDCG         float64 `json:"ndcg"`           // must match across rows
+}
+
+// ScalabilityResult is the scalability experiment's report: the parallel
+// round engine and evaluator timed at increasing worker counts on the
+// large-scale profile, with a determinism cross-check.
+type ScalabilityResult struct {
+	Profile       string           `json:"profile"`
+	Users         int              `json:"users"`
+	Items         int              `json:"items"`
+	Rounds        int              `json:"rounds"`
+	GOMAXPROCS    int              `json:"gomaxprocs"`
+	Rows          []ScalabilityRow `json:"rows"`
+	Deterministic bool             `json:"deterministic"` // identical history+metrics across worker counts
+}
+
+// scalabilityWorkerCounts returns the worker counts to sweep: doubling steps
+// up to GOMAXPROCS, always starting at 1 and, when the host is single-core,
+// still including 2 so the report exercises worker-count invariance.
+func scalabilityWorkerCounts() []int {
+	maxProcs := runtime.GOMAXPROCS(0)
+	counts := []int{1}
+	for w := 2; w <= maxProcs; w *= 2 {
+		counts = append(counts, w)
+	}
+	if counts[len(counts)-1] != maxProcs && maxProcs > 1 {
+		counts = append(counts, maxProcs)
+	}
+	if maxProcs == 1 {
+		counts = append(counts, 2)
+	}
+	return counts
+}
+
+// RunScalability times the parallel round engine and the parallel evaluator
+// at increasing worker counts on the large-scale profile (50k users at full
+// scale). Every sweep point re-runs the same seeded training, so the rows
+// double as a determinism check: Recall/NDCG and the per-round history must
+// be identical for every worker count.
+func RunScalability(o Options) (*ScalabilityResult, error) {
+	p := data.LargeScaleSmall
+	if o.Scale == ScaleFull {
+		p = data.LargeScale
+	}
+	if len(o.ProfilesOverride) > 0 {
+		p = o.ProfilesOverride[0]
+	}
+	sp := o.split(p)
+
+	// MF on both sides keeps per-client state tiny (lazy embedding rows
+	// only), which is what makes tens of thousands of in-process clients
+	// feasible; the round engine's code path is identical for every model.
+	cfg := fed.DefaultConfig(models.KindMF)
+	cfg.ClientModel = models.KindMF
+	cfg.Seed = o.Seed
+	cfg.Dim = 16
+	cfg.Rounds = 3
+	cfg.ClientEpochs = 1
+	cfg.ServerEpochs = 1
+	cfg.ClientBatch = 32
+	cfg.ServerBatch = 1024
+	if o.Quick {
+		cfg.Rounds = 2
+	}
+	if o.Scale == ScaleFull {
+		// 50k clients per round would dominate the sweep; a 10% sample per
+		// round keeps full-scale sweeps tractable while every client still
+		// exists (the evaluator always covers all 50k users).
+		cfg.ClientFraction = 0.1
+	}
+
+	res := &ScalabilityResult{
+		Profile:       p.Name,
+		Users:         sp.NumUsers,
+		Items:         sp.NumItems,
+		Rounds:        cfg.Rounds,
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		Deterministic: true,
+	}
+
+	// Untimed warmup: one round + eval on a throwaway trainer, so the timed
+	// sweep doesn't charge the first row for heap growth and page-cache
+	// warmup (visible as a large workers=1 outlier otherwise).
+	{
+		wcfg := cfg
+		wcfg.Rounds = 1
+		warm, err := fed.NewTrainer(sp, wcfg)
+		if err != nil {
+			return nil, fmt.Errorf("scalability: %w", err)
+		}
+		warm.RunRound(0)
+		warm.EvaluateServer()
+	}
+
+	var refRounds []fed.RoundStats
+	var refEval eval.Result
+	for _, workers := range scalabilityWorkerCounts() {
+		o.logf("scalability: workers=%d\n", workers)
+		wcfg := cfg
+		wcfg.Workers = workers
+		wcfg.EvalWorkers = workers
+		tr, err := fed.NewTrainer(sp, wcfg)
+		if err != nil {
+			return nil, fmt.Errorf("scalability: %w", err)
+		}
+		// Time the round engine and the evaluator separately so the report
+		// attributes speedup to the right path.
+		rounds := make([]fed.RoundStats, 0, wcfg.Rounds)
+		start := time.Now()
+		for round := 0; round < wcfg.Rounds; round++ {
+			rounds = append(rounds, tr.RunRound(round))
+		}
+		trainSecs := time.Since(start).Seconds()
+
+		start = time.Now()
+		ev := tr.EvaluateServer()
+		evalSecs := time.Since(start).Seconds()
+
+		row := ScalabilityRow{
+			Workers:   workers,
+			RoundSecs: trainSecs / float64(cfg.Rounds),
+			EvalSecs:  evalSecs,
+			Recall:    ev.Recall,
+			NDCG:      ev.NDCG,
+		}
+		if row.RoundSecs > 0 {
+			row.RoundsPerSec = 1 / row.RoundSecs
+		}
+		if len(res.Rows) == 0 {
+			refRounds, refEval = rounds, ev
+			row.RoundSpeedup, row.EvalSpeedup = 1, 1
+		} else {
+			base := res.Rows[0]
+			if row.RoundSecs > 0 {
+				row.RoundSpeedup = base.RoundSecs / row.RoundSecs
+			}
+			if row.EvalSecs > 0 {
+				row.EvalSpeedup = base.EvalSecs / row.EvalSecs
+			}
+			if ev != refEval || !roundsEqual(refRounds, rounds) {
+				res.Deterministic = false
+			}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// roundsEqual compares two training traces field by field. Bitwise float
+// equality is intentional: the round engine promises identical results for
+// every worker count.
+func roundsEqual(a, b []fed.RoundStats) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Print renders the sweep.
+func (r *ScalabilityResult) Print(w io.Writer) {
+	fmt.Fprintf(w, "Scalability: %s (%d users × %d items), %d rounds, GOMAXPROCS=%d\n",
+		r.Profile, r.Users, r.Items, r.Rounds, r.GOMAXPROCS)
+	fmt.Fprintf(w, "  %-8s %12s %12s %10s %10s %10s\n",
+		"workers", "round-secs", "rounds/sec", "round-spdup", "eval-secs", "eval-spdup")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "  %-8d %12.3f %12.3f %10.2fx %10.3f %10.2fx\n",
+			row.Workers, row.RoundSecs, row.RoundsPerSec, row.RoundSpeedup, row.EvalSecs, row.EvalSpeedup)
+	}
+	fmt.Fprintf(w, "  metrics identical across worker counts: %v (recall@20=%.4f ndcg@20=%.4f)\n",
+		r.Deterministic, r.Rows[0].Recall, r.Rows[0].NDCG)
+}

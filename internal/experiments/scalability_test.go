@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"ptffedrec/internal/data"
+)
+
+func TestRunScalability(t *testing.T) {
+	o := testOptions()
+	o.ProfilesOverride = []data.Profile{data.Tiny}
+	res, err := RunScalability(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) < 2 {
+		t.Fatalf("want at least the workers=1 row plus one parallel row, got %d", len(res.Rows))
+	}
+	if res.Rows[0].Workers != 1 {
+		t.Fatalf("first row workers = %d, want 1", res.Rows[0].Workers)
+	}
+	if !res.Deterministic {
+		t.Fatal("metrics differ across worker counts")
+	}
+	for _, row := range res.Rows {
+		if row.Recall != res.Rows[0].Recall || row.NDCG != res.Rows[0].NDCG {
+			t.Fatalf("row %+v metrics differ from baseline %+v", row, res.Rows[0])
+		}
+	}
+
+	var buf bytes.Buffer
+	res.Print(&buf)
+	if !strings.Contains(buf.String(), "metrics identical across worker counts: true") {
+		t.Fatalf("unexpected report:\n%s", buf.String())
+	}
+
+	// The -json path serialises the result verbatim; it must round-trip.
+	blob, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back ScalabilityResult
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Profile != res.Profile || len(back.Rows) != len(res.Rows) {
+		t.Fatalf("JSON round-trip mismatch: %+v vs %+v", back, res)
+	}
+}

@@ -90,8 +90,16 @@ type Config struct {
 	// EvalEvery computes server metrics every n rounds (0 = only at end).
 	EvalEvery int
 
-	// Workers bounds client-side parallelism (0 = GOMAXPROCS).
+	// Workers bounds the round engine's parallelism (0 = GOMAXPROCS): client
+	// local training, the server's absorb/training-set sharding, and the
+	// dispersal loop all fan out over this many workers. Seeded runs produce
+	// identical Histories for every worker count.
 	Workers int
+
+	// EvalWorkers bounds eval.Ranking's parallelism during EvaluateServer /
+	// EvaluateClients (0 = GOMAXPROCS). Metrics are bitwise-identical for any
+	// worker count.
+	EvalWorkers int
 
 	// Faults optionally injects client dropouts and truncated uploads to
 	// exercise the protocol's robustness (zero value = no faults).

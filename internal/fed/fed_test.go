@@ -225,6 +225,9 @@ func TestConfidenceSelectionPrefersFrequentItems(t *testing.T) {
 }
 
 func TestAttackF1OrderingAcrossDefenses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full defense sweep; skipped in -short")
+	}
 	// The core privacy claim (Table V): no-defense leaks nearly everything,
 	// sampling+swap leaks far less.
 	// Once local models are trained enough to order positives above

@@ -1,0 +1,97 @@
+package fed
+
+import (
+	"testing"
+
+	"ptffedrec/internal/models"
+)
+
+// runHistory executes a full training run and returns its trace.
+func runHistory(t *testing.T, cfg Config) *History {
+	t.Helper()
+	tr, err := NewTrainer(tinySplit(t), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := tr.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+// requireEqualHistories compares two traces with bitwise float equality —
+// the parallel round engine's contract.
+func requireEqualHistories(t *testing.T, label string, a, b *History) {
+	t.Helper()
+	if len(a.Rounds) != len(b.Rounds) {
+		t.Fatalf("%s: round counts differ: %d vs %d", label, len(a.Rounds), len(b.Rounds))
+	}
+	for i := range a.Rounds {
+		if a.Rounds[i] != b.Rounds[i] {
+			t.Fatalf("%s: round %d differs:\n  %+v\n  %+v", label, i, a.Rounds[i], b.Rounds[i])
+		}
+	}
+	if a.Final != b.Final || a.MeanAttackF1 != b.MeanAttackF1 {
+		t.Fatalf("%s: final results differ: %+v/%v vs %+v/%v",
+			label, a.Final, a.MeanAttackF1, b.Final, b.MeanAttackF1)
+	}
+}
+
+// TestHistoryInvariantAcrossWorkerCounts pins the round engine's guarantee:
+// the entire History — per-round losses, attack F1, wire bytes, and final
+// metrics — is identical whether the round runs serially or on a worker
+// pool. This covers the parallel client training, the sharded absorb/train,
+// and the parallel dispersal (including its per-client stream derivation).
+func TestHistoryInvariantAcrossWorkerCounts(t *testing.T) {
+	kinds := []models.Kind{models.KindNeuMF, models.KindLightGCN}
+	if testing.Short() {
+		kinds = kinds[:1]
+	}
+	for _, server := range kinds {
+		cfg := fastConfig(server)
+		cfg.Rounds = 2
+		cfg.EvalEvery = 1
+
+		cfg.Workers, cfg.EvalWorkers = 1, 1
+		serial := runHistory(t, cfg)
+		for _, workers := range []int{2, 8} {
+			cfg.Workers, cfg.EvalWorkers = workers, workers
+			requireEqualHistories(t, string(server), serial, runHistory(t, cfg))
+		}
+	}
+}
+
+// TestHistoryInvariantRandomDispersal exercises the ablation arms whose
+// dispersal draws random items: the per-(round, client) stream derivation
+// must make those draws independent of worker count and visit order.
+func TestHistoryInvariantRandomDispersal(t *testing.T) {
+	modes := []DisperseMode{DisperseNoConf, DisperseNoHard, DisperseAllRandom}
+	if testing.Short() {
+		modes = modes[:1]
+	}
+	for _, mode := range modes {
+		cfg := fastConfig(models.KindNeuMF)
+		cfg.Rounds = 2
+		cfg.Disperse = mode
+
+		cfg.Workers, cfg.EvalWorkers = 1, 1
+		serial := runHistory(t, cfg)
+		cfg.Workers, cfg.EvalWorkers = 8, 8
+		requireEqualHistories(t, string(mode), serial, runHistory(t, cfg))
+	}
+}
+
+// TestHistoryInvariantWithFaults keeps the fault-injection path inside the
+// worker-count contract: dropouts and truncations derive from per-client
+// streams, so the same clients fail no matter how the pool is sized.
+func TestHistoryInvariantWithFaults(t *testing.T) {
+	cfg := fastConfig(models.KindNeuMF)
+	cfg.Rounds = 2
+	cfg.Faults = FaultPlan{DropoutRate: 0.3, TruncateRate: 0.3}
+
+	cfg.Workers, cfg.EvalWorkers = 1, 1
+	serial := runHistory(t, cfg)
+	cfg.Workers, cfg.EvalWorkers = 8, 8
+	requireEqualHistories(t, "faults", serial, runHistory(t, cfg))
+}

@@ -8,6 +8,7 @@ import (
 	"ptffedrec/internal/comm"
 	"ptffedrec/internal/graph"
 	"ptffedrec/internal/models"
+	"ptffedrec/internal/par"
 	"ptffedrec/internal/rng"
 )
 
@@ -76,16 +77,54 @@ func (sv *Server) Restore(r io.Reader) error {
 func (sv *Server) ItemFrequency(v int) int { return sv.itemFreq[v] }
 
 // absorb ingests one round of uploads: updates confidence counters and the
-// per-user latest views.
-func (sv *Server) absorb(uploads [][]comm.Prediction) {
+// per-user latest views. The counter pass shards the uploads over workers,
+// each accumulating into a private histogram; the shard histograms merge
+// sequentially, so counts are exact integers regardless of worker count.
+func (sv *Server) absorb(uploads [][]comm.Prediction, workers int) {
+	workers = par.Workers(workers)
+	if workers <= 1 || len(uploads) < 2 {
+		for _, up := range uploads {
+			for _, p := range up {
+				if p.Item >= 0 && p.Item < sv.numItems {
+					sv.itemFreq[p.Item]++
+				}
+			}
+		}
+	} else {
+		if workers > len(uploads) {
+			workers = len(uploads)
+		}
+		partial := make([][]int, workers)
+		chunk := (len(uploads) + workers - 1) / workers
+		par.For(workers, workers, func(w int) {
+			lo, hi := w*chunk, (w+1)*chunk
+			if hi > len(uploads) {
+				hi = len(uploads)
+			}
+			if lo >= hi {
+				return
+			}
+			counts := make([]int, sv.numItems)
+			for _, up := range uploads[lo:hi] {
+				for _, p := range up {
+					if p.Item >= 0 && p.Item < sv.numItems {
+						counts[p.Item]++
+					}
+				}
+			}
+			partial[w] = counts
+		})
+		for _, counts := range partial {
+			for v, c := range counts {
+				sv.itemFreq[v] += c
+			}
+		}
+	}
+	// Each round's uploads come from distinct clients, so the per-user view
+	// updates are cheap single writes; keep them on the caller's goroutine.
 	for _, up := range uploads {
 		if len(up) == 0 {
 			continue
-		}
-		for _, p := range up {
-			if p.Item >= 0 && p.Item < sv.numItems {
-				sv.itemFreq[p.Item]++
-			}
 		}
 		sv.latestUpload[up[0].User] = up
 	}
@@ -102,7 +141,16 @@ func (sv *Server) rebuildGraph() {
 		return
 	}
 	g := graph.NewBipartite(sv.numUsers, sv.numItems)
-	for u, preds := range sv.latestUpload {
+	// Iterate users in sorted order: edge insertion order decides the order
+	// degree weights accumulate in, and map iteration order would make that
+	// (and therefore the propagated floats) vary run to run.
+	userIDs := make([]int, 0, len(sv.latestUpload))
+	for u := range sv.latestUpload {
+		userIDs = append(userIDs, u)
+	}
+	sort.Ints(userIDs)
+	for _, u := range userIDs {
+		preds := sv.latestUpload[u]
 		if sv.cfg.GraphTopFrac > 0 {
 			n := int(sv.cfg.GraphTopFrac*float64(len(preds)) + 0.5)
 			if n < 1 {
@@ -134,13 +182,23 @@ func (sv *Server) rebuildGraph() {
 }
 
 // train runs the server-side optimisation of Eq. 5 on the round's uploads.
-func (sv *Server) train(uploads [][]comm.Prediction) float64 {
-	var samples []models.Sample
-	for _, up := range uploads {
-		for _, p := range up {
-			samples = append(samples, models.Sample{User: p.User, Item: p.Item, Label: p.Score})
-		}
+// Flattening the uploads into the training set is sharded over workers into
+// precomputed offset ranges, so the sample order — and with it the shuffle
+// and every optimizer step — is identical to the serial construction. The
+// SGD loop itself stays sequential: that is what makes seeded runs exactly
+// reproducible.
+func (sv *Server) train(uploads [][]comm.Prediction, workers int) float64 {
+	offsets := make([]int, len(uploads)+1)
+	for i, up := range uploads {
+		offsets[i+1] = offsets[i] + len(up)
 	}
+	samples := make([]models.Sample, offsets[len(uploads)])
+	par.For(len(uploads), par.Workers(workers), func(i int) {
+		out := samples[offsets[i]:offsets[i+1]]
+		for j, p := range uploads[i] {
+			out[j] = models.Sample{User: p.User, Item: p.Item, Label: p.Score}
+		}
+	})
 	if len(samples) == 0 {
 		return 0
 	}
@@ -164,7 +222,14 @@ func (sv *Server) train(uploads [][]comm.Prediction) float64 {
 // confidence plus (1−µ)α hard items by server score, all outside the client's
 // current upload, scored by the hidden model. The Table VII ablations replace
 // either half with uniformly random eligible items.
-func (sv *Server) disperse(c *Client) []comm.Prediction {
+//
+// ds is a stream derived per (round, client) by the trainer. Giving every
+// client its own stream — instead of consuming a shared server stream in
+// visit order — is what lets the dispersal loop run on a worker pool while
+// seeded runs stay reproducible for any worker count. disperse itself only
+// reads server state, so concurrent calls for distinct clients are safe once
+// the model's scoring cache is warm.
+func (sv *Server) disperse(c *Client, ds *rng.Stream) []comm.Prediction {
 	alpha := sv.cfg.Alpha
 	if alpha <= 0 {
 		return nil
@@ -204,7 +269,7 @@ func (sv *Server) disperse(c *Client) []comm.Prediction {
 	// Confidence half: highest update frequency.
 	if nConf > 0 {
 		if confRandom {
-			pick(rng.SampleSlice(sv.s, eligible, min(len(eligible), nConf*2)), nConf)
+			pick(rng.SampleSlice(ds, eligible, min(len(eligible), nConf*2)), nConf)
 		} else {
 			ranked := append([]int(nil), eligible...)
 			sort.SliceStable(ranked, func(a, b int) bool {
@@ -217,7 +282,7 @@ func (sv *Server) disperse(c *Client) []comm.Prediction {
 	// Hard half: highest server-predicted score for this user.
 	if nHard > 0 {
 		if hardRandom {
-			pick(rng.SampleSlice(sv.s, eligible, min(len(eligible), nHard*3)), nHard)
+			pick(rng.SampleSlice(ds, eligible, min(len(eligible), nHard*3)), nHard)
 		} else {
 			scores := sv.model.ScoreItems(c.ID, eligible)
 			ranked := make([]int, len(eligible))

@@ -2,12 +2,11 @@ package fed
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 
 	"ptffedrec/internal/comm"
 	"ptffedrec/internal/data"
 	"ptffedrec/internal/eval"
+	"ptffedrec/internal/par"
 	"ptffedrec/internal/privacy"
 	"ptffedrec/internal/rng"
 )
@@ -103,54 +102,45 @@ func (t *Trainer) RunRound(round int) RoundStats {
 	}
 	idx := sel.SampleInts(len(t.clients), n)
 
-	// 2. Parallel client local training + upload construction.
-	workers := t.cfg.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
+	// 2. Parallel client local training + upload construction. Every write
+	// goes to the goroutine's own slot, so the round is deterministic for any
+	// worker count.
+	workers := par.Workers(t.cfg.Workers)
 	results := make([]clientResult, len(idx))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, workers)
-	for i, ci := range idx {
-		wg.Add(1)
-		go func(slot, ci int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			c := t.clients[ci]
-			// Fault injection: a dropped client burns its local compute but
-			// nothing reaches the server.
-			if t.cfg.Faults.enabled() {
-				fs := t.root.DeriveN("fault", round).DeriveN("client", ci)
-				if fs.Bernoulli(t.cfg.Faults.DropoutRate) {
-					results[slot] = clientResult{client: c, dropped: true}
-					return
+	par.For(len(idx), workers, func(slot int) {
+		ci := idx[slot]
+		c := t.clients[ci]
+		// Fault injection: a dropped client burns its local compute but
+		// nothing reaches the server.
+		if t.cfg.Faults.enabled() {
+			fs := t.root.DeriveN("fault", round).DeriveN("client", ci)
+			if fs.Bernoulli(t.cfg.Faults.DropoutRate) {
+				results[slot] = clientResult{client: c, dropped: true}
+				return
+			}
+			defer func() {
+				if fs.Bernoulli(t.cfg.Faults.TruncateRate) && len(results[slot].upload) > 1 {
+					results[slot].upload = results[slot].upload[:len(results[slot].upload)/2]
+					results[slot].upBytes = len(comm.EncodePredictions(results[slot].upload))
 				}
-				defer func() {
-					if fs.Bernoulli(t.cfg.Faults.TruncateRate) && len(results[slot].upload) > 1 {
-						results[slot].upload = results[slot].upload[:len(results[slot].upload)/2]
-						results[slot].upBytes = len(comm.EncodePredictions(results[slot].upload))
-					}
-				}()
-			}
-			upload, loss := c.localTrain(func(n int) []int {
-				return t.split.SampleNegativesN(c.s.DeriveN("negs", round), c.ID, n)
-			})
-			upload, upBytes := t.encodeForWire(upload)
-			// The curious-but-honest server's inference attempt, scored
-			// against ground truth for Table V / Fig. 3.
-			guessed := privacy.TopGuessAttack(upload, t.cfg.AttackPosFraction)
-			f1 := privacy.AttackF1(upload, guessed, c.isPositive)
-			results[slot] = clientResult{
-				client:   c,
-				upload:   upload,
-				loss:     loss,
-				attackF1: f1,
-				upBytes:  upBytes,
-			}
-		}(i, ci)
-	}
-	wg.Wait()
+			}()
+		}
+		upload, loss := c.localTrain(func(n int) []int {
+			return t.split.SampleNegativesN(c.s.DeriveN("negs", round), c.ID, n)
+		})
+		upload, upBytes := t.encodeForWire(upload)
+		// The curious-but-honest server's inference attempt, scored
+		// against ground truth for Table V / Fig. 3.
+		guessed := privacy.TopGuessAttack(upload, t.cfg.AttackPosFraction)
+		f1 := privacy.AttackF1(upload, guessed, c.isPositive)
+		results[slot] = clientResult{
+			client:   c,
+			upload:   upload,
+			loss:     loss,
+			attackF1: f1,
+			upBytes:  upBytes,
+		}
+	})
 
 	stats := RoundStats{Round: round, Participants: len(idx)}
 	uploads := make([][]comm.Prediction, 0, len(results))
@@ -173,18 +163,31 @@ func (t *Trainer) RunRound(round int) RoundStats {
 		stats.AttackF1 /= float64(len(results))
 	}
 
-	// 3. Server-side: absorb uploads, rebuild the graph, optimise Eq. 5.
-	t.server.absorb(uploads)
+	// 3. Server-side: absorb uploads, rebuild the graph, optimise Eq. 5. The
+	// absorb counters and the training-set construction shard over the same
+	// worker pool; the optimizer steps stay sequential for reproducibility.
+	t.server.absorb(uploads, workers)
 	t.server.rebuildGraph()
-	stats.ServerLoss = t.server.train(uploads)
+	stats.ServerLoss = t.server.train(uploads, workers)
 
-	// 4. Disperse D̃ᵢ to the round's participants.
-	for _, r := range results {
-		preds := t.server.disperse(r.client)
+	// 4. Disperse D̃ᵢ to the round's participants on the worker pool. Each
+	// client draws from a stream derived per (round, client), and dispersal
+	// only reads server state, so results match the serial loop exactly.
+	if w, ok := t.server.model.(eval.Warmer); ok && workers > 1 && len(results) > 0 {
+		w.WarmScoring()
+	}
+	dispersed := make([]int, len(results))
+	par.For(len(results), workers, func(i int) {
+		r := results[i]
+		ds := t.root.DeriveN("disperse", round).DeriveN("client", r.client.ID)
+		preds := t.server.disperse(r.client, ds)
 		preds, nBytes := t.encodeForWire(preds)
 		r.client.receiveDispersal(preds)
-		stats.DispersBytes += int64(nBytes)
-		t.meter.AddDown(r.client.ID, nBytes)
+		dispersed[i] = nBytes
+	})
+	for i, r := range results {
+		stats.DispersBytes += int64(dispersed[i])
+		t.meter.AddDown(r.client.ID, dispersed[i])
 	}
 	t.meter.EndRound()
 	return stats
@@ -227,18 +230,22 @@ func (t *Trainer) Run() (*History, error) {
 }
 
 // EvaluateServer measures the hidden model's ranking quality — the quantity
-// Table III reports for PTF-FedRec.
+// Table III reports for PTF-FedRec. Evaluation fans out over
+// Config.EvalWorkers workers (0 = GOMAXPROCS) with metrics identical for any
+// worker count.
 func (t *Trainer) EvaluateServer() eval.Result {
-	return eval.Ranking(t.server.model, t.split, t.cfg.EvalK)
+	return eval.RankingWorkers(t.server.model, t.split, t.cfg.EvalK, t.cfg.EvalWorkers)
 }
 
 // EvaluateClients measures the mean ranking quality of the client-side local
-// models (each scoring through its own single-user universe).
+// models (each scoring through its own single-user universe). Parallel
+// evaluation is safe because each user's scores come from that user's own
+// model: no two workers ever touch the same client.
 func (t *Trainer) EvaluateClients() eval.Result {
 	scorer := eval.ScorerFunc(func(u int, items []int) []float64 {
 		return t.clients[u].model.ScoreItems(0, items)
 	})
-	return eval.Ranking(scorer, t.split, t.cfg.EvalK)
+	return eval.RankingWorkers(scorer, t.split, t.cfg.EvalK, t.cfg.EvalWorkers)
 }
 
 // String summarises a round for logs.

@@ -156,6 +156,16 @@ func (e *RankEval) Add(ranked []int, relevant map[int]bool, k int) {
 	e.Users++
 }
 
+// AddUser accumulates precomputed per-user metric values. The parallel
+// evaluator computes (recall, ndcg) per user concurrently and feeds them back
+// here sequentially in user order, so the floating-point sum matches the
+// serial Add path exactly.
+func (e *RankEval) AddUser(recall, ndcg float64) {
+	e.Recall += recall
+	e.NDCG += ndcg
+	e.Users++
+}
+
 // Mean returns the user-averaged metrics.
 func (e *RankEval) Mean() (recall, ndcg float64) {
 	if e.Users == 0 {

@@ -69,6 +69,10 @@ func (m *LightGCN) propagate() *tensor.Matrix {
 	return final
 }
 
+// WarmScoring implements eval.Warmer: it forces the propagation cache so
+// concurrent ScoreItems calls are pure reads.
+func (m *LightGCN) WarmScoring() { m.propagate() }
+
 func (m *LightGCN) itemNode(v int) int { return m.cfg.NumUsers + v }
 
 // Score implements Recommender.

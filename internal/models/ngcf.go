@@ -101,6 +101,10 @@ func (m *NGCF) propagate() {
 	m.dirty = false
 }
 
+// WarmScoring implements eval.Warmer: it forces the propagation caches so
+// concurrent ScoreItems calls are pure reads.
+func (m *NGCF) WarmScoring() { m.propagate() }
+
 func (m *NGCF) itemNode(v int) int { return m.cfg.NumUsers + v }
 
 // readoutScale averages the per-layer dot products instead of summing the

@@ -1,0 +1,56 @@
+// Package par provides the small deterministic fork–join primitive behind the
+// parallel round engine and the parallel evaluator.
+//
+// Determinism contract: For distributes loop indices over goroutines, but the
+// caller decides what each index writes. As long as fn(i) writes only to
+// slot i of a pre-sized output (and any shared reads are warmed beforehand),
+// the result is identical for every worker count — reductions then happen
+// sequentially over the slots in index order, so even floating-point sums are
+// bitwise-stable.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a worker-count knob: any value <= 0 means GOMAXPROCS.
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// For runs fn(i) for every i in [0, n), distributing indices over at most
+// workers goroutines. workers <= 1 degenerates to a plain loop on the calling
+// goroutine. Indices are claimed through an atomic counter, so each runs
+// exactly once; fn must confine its writes to per-index state.
+func For(n, workers int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

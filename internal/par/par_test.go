@@ -1,0 +1,43 @@
+package par
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForVisitsEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 3, 7, 64} {
+		for _, n := range []int{0, 1, 5, 100} {
+			counts := make([]int32, n)
+			For(n, workers, func(i int) { atomic.AddInt32(&counts[i], 1) })
+			for i, c := range counts {
+				if c != 1 {
+					t.Fatalf("workers=%d n=%d: index %d visited %d times", workers, n, i, c)
+				}
+			}
+		}
+	}
+}
+
+func TestForSerialPathOrdered(t *testing.T) {
+	var got []int
+	For(5, 1, func(i int) { got = append(got, i) })
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("serial For out of order: %v", got)
+		}
+	}
+}
+
+func TestWorkers(t *testing.T) {
+	if w := Workers(0); w != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(0) = %d, want GOMAXPROCS", w)
+	}
+	if w := Workers(-3); w != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(-3) = %d, want GOMAXPROCS", w)
+	}
+	if w := Workers(5); w != 5 {
+		t.Fatalf("Workers(5) = %d", w)
+	}
+}

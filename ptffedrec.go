@@ -20,6 +20,14 @@
 //
 // See the runnable programs under examples/ and the experiment harness
 // behind cmd/ptfbench for complete walkthroughs of every paper experiment.
+//
+// Building and testing (see also the Makefile and README):
+//
+//	go build ./...                         # build everything
+//	go test ./...                          # full test suite
+//	go test -race -short ./...             # what CI runs
+//	go test -bench=. -benchtime=1x -run=^$ # regenerate every table/figure once
+//	go run ./cmd/ptfbench -exp scalability # parallel round-engine sweep
 package ptffedrec
 
 import (
@@ -76,6 +84,10 @@ type (
 	Result = eval.Result
 	// Prediction is one (user, item, score) wire triple.
 	Prediction = comm.Prediction
+	// Scorer scores one user against candidate items (models satisfy this).
+	Scorer = eval.Scorer
+	// ScorerFunc adapts a function to Scorer.
+	ScorerFunc = eval.ScorerFunc
 )
 
 // Model kinds.
@@ -104,14 +116,17 @@ const (
 	DisperseAllRandom = fed.DisperseAllRandom
 )
 
-// Calibrated dataset profiles (Table II) and their scaled-down variants.
+// Calibrated dataset profiles (Table II), their scaled-down variants, and
+// the cross-device scalability workloads.
 var (
-	ML100K       = data.ML100K
-	Steam200K    = data.Steam200K
-	Gowalla      = data.Gowalla
-	ML100KSmall  = data.ML100KSmall
-	SteamSmall   = data.SteamSmall
-	GowallaSmall = data.GowallaSmall
+	ML100K          = data.ML100K
+	Steam200K       = data.Steam200K
+	Gowalla         = data.Gowalla
+	ML100KSmall     = data.ML100KSmall
+	SteamSmall      = data.SteamSmall
+	GowallaSmall    = data.GowallaSmall
+	LargeScale      = data.LargeScale
+	LargeScaleSmall = data.LargeScaleSmall
 )
 
 // DefaultConfig returns the paper's hyper-parameters with the given server
@@ -192,6 +207,17 @@ func DefaultExperimentOptions() ExperimentOptions { return experiments.DefaultOp
 // RunExperiment executes one experiment by id, printing paper-style rows.
 func RunExperiment(id string, o ExperimentOptions, w io.Writer) error {
 	return experiments.Run(id, o, w)
+}
+
+// Ranking evaluates a scorer on a split at cutoff k, fanning the user loop
+// out over GOMAXPROCS workers. Metrics are bitwise-identical for any worker
+// count.
+func Ranking(s Scorer, sp *Split, k int) Result { return eval.Ranking(s, sp, k) }
+
+// RankingWorkers is Ranking with an explicit worker count (<= 0 means
+// GOMAXPROCS).
+func RankingWorkers(s Scorer, sp *Split, k, workers int) Result {
+	return eval.RankingWorkers(s, sp, k, workers)
 }
 
 // FormatBytes renders byte counts the way Table IV does.
