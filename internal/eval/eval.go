@@ -31,6 +31,25 @@ type ScorerFunc func(u int, items []int) []float64
 // ScoreItems implements Scorer.
 func (f ScorerFunc) ScoreItems(u int, items []int) []float64 { return f(u, items) }
 
+// ScorerInto is an optional Scorer extension for models whose batch scoring
+// can reuse a caller buffer (models.InplaceScorer satisfies it). Ranking
+// gives each worker one reusable score buffer for its whole share of users,
+// cutting a per-user allocation of |candidates| floats from the hot loop.
+type ScorerInto interface {
+	ScoreItemsInto(dst []float64, u int, items []int) []float64
+}
+
+// scoreItems scores through the buffer-reusing path when available. buf is
+// owned by the calling goroutine and carried across users.
+func scoreItems(s Scorer, buf *[]float64, u int, items []int) []float64 {
+	if si, ok := s.(ScorerInto); ok {
+		out := si.ScoreItemsInto(*buf, u, items)
+		*buf = out
+		return out
+	}
+	return s.ScoreItems(u, items)
+}
+
 // Warmer is an optional Scorer extension. WarmScoring precomputes any lazily
 // cached shared state (e.g. a graph model's propagated embeddings) so that
 // subsequent ScoreItems calls are read-only and safe to issue concurrently.
@@ -74,27 +93,16 @@ func RankingWorkers(s Scorer, sp *data.Split, k, workers int) Result {
 	}
 	recalls := make([]float64, len(users))
 	ndcgs := make([]float64, len(users))
-	if workers <= 1 {
+	// Chunk users so each worker reuses one candidate buffer and one score
+	// buffer across its whole share instead of allocating per user.
+	chunk := (len(users) + workers - 1) / workers
+	par.ForChunks(len(users), chunk, workers, func(lo, hi int) {
 		buf := make([]int, 0, sp.NumItems)
-		for i, u := range users {
-			recalls[i], ndcgs[i] = evalUser(s, sp, u, k, &buf)
+		scores := make([]float64, 0, sp.NumItems)
+		for i := lo; i < hi; i++ {
+			recalls[i], ndcgs[i] = evalUser(s, sp, users[i], k, &buf, &scores)
 		}
-	} else {
-		// Chunk users so each worker reuses one candidate buffer across its
-		// whole share instead of allocating per user.
-		chunk := (len(users) + workers - 1) / workers
-		nChunks := (len(users) + chunk - 1) / chunk
-		par.For(nChunks, workers, func(c int) {
-			lo, hi := c*chunk, (c+1)*chunk
-			if hi > len(users) {
-				hi = len(users)
-			}
-			buf := make([]int, 0, sp.NumItems)
-			for i := lo; i < hi; i++ {
-				recalls[i], ndcgs[i] = evalUser(s, sp, users[i], k, &buf)
-			}
-		})
-	}
+	})
 	var agg metrics.RankEval
 	for i := range users {
 		agg.AddUser(recalls[i], ndcgs[i])
@@ -104,8 +112,9 @@ func RankingWorkers(s Scorer, sp *data.Split, k, workers int) Result {
 }
 
 // evalUser scores one user's full candidate list and returns its Recall@k and
-// NDCG@k. buf is a reusable candidate buffer owned by the calling goroutine.
-func evalUser(s Scorer, sp *data.Split, u, k int, buf *[]int) (recall, ndcg float64) {
+// NDCG@k. buf and scoreBuf are reusable buffers owned by the calling
+// goroutine.
+func evalUser(s Scorer, sp *data.Split, u, k int, buf *[]int, scoreBuf *[]float64) (recall, ndcg float64) {
 	candidates := (*buf)[:0]
 	for v := 0; v < sp.NumItems; v++ {
 		if !sp.InTrain(u, v) {
@@ -113,7 +122,7 @@ func evalUser(s Scorer, sp *data.Split, u, k int, buf *[]int) (recall, ndcg floa
 		}
 	}
 	*buf = candidates
-	scores := s.ScoreItems(u, candidates)
+	scores := scoreItems(s, scoreBuf, u, candidates)
 	top := metrics.TopK(scores, k)
 	ranked := make([]int, len(top))
 	for i, idx := range top {

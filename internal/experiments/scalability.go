@@ -13,7 +13,9 @@ import (
 )
 
 // ScalabilityRow records one worker count's timings on the large-scale
-// profile. Speedups are relative to the workers=1 row.
+// profile. Speedups are relative to the workers=1 row. The per-phase columns
+// break the round down so speedup is attributable: client training rides
+// Workers, server SGD rides TrainWorkers, the graph/CSR build rides both.
 type ScalabilityRow struct {
 	Workers      int     `json:"workers"`
 	RoundSecs    float64 `json:"round_secs"`     // mean wall-clock per global round
@@ -23,6 +25,18 @@ type ScalabilityRow struct {
 	EvalSpeedup  float64 `json:"eval_speedup"`   // vs workers=1
 	Recall       float64 `json:"recall"`         // must match across rows
 	NDCG         float64 `json:"ndcg"`           // must match across rows
+
+	// Per-phase mean seconds per round.
+	ClientSecs      float64 `json:"client_secs"`
+	AbsorbSecs      float64 `json:"absorb_secs"`
+	GraphSecs       float64 `json:"graph_secs"`
+	ServerTrainSecs float64 `json:"server_train_secs"`
+	DisperseSecs    float64 `json:"disperse_secs"`
+
+	// Speedups vs workers=1 for the two server-side hot paths the gradient
+	// workspace engine and the parallel CSR build attack.
+	ServerTrainSpeedup float64 `json:"server_train_speedup"`
+	GraphSpeedup       float64 `json:"graph_speedup"`
 }
 
 // ScalabilityResult is the scalability experiment's report: the parallel
@@ -71,10 +85,13 @@ func RunScalability(o Options) (*ScalabilityResult, error) {
 	}
 	sp := o.split(p)
 
-	// MF on both sides keeps per-client state tiny (lazy embedding rows
-	// only), which is what makes tens of thousands of in-process clients
-	// feasible; the round engine's code path is identical for every model.
-	cfg := fed.DefaultConfig(models.KindMF)
+	// MF clients keep per-client state tiny (lazy embedding rows only), which
+	// is what makes tens of thousands of in-process clients feasible. The
+	// server runs LightGCN so the sweep exercises every parallel server path:
+	// the per-round graph/CSR rebuild, the sharded SpMM propagation, and the
+	// gradient workspace engine. A large server batch keeps the propagation
+	// count per round bounded (one forward cache per optimizer step).
+	cfg := fed.DefaultConfig(models.KindLightGCN)
 	cfg.ClientModel = models.KindMF
 	cfg.Seed = o.Seed
 	cfg.Dim = 16
@@ -82,7 +99,7 @@ func RunScalability(o Options) (*ScalabilityResult, error) {
 	cfg.ClientEpochs = 1
 	cfg.ServerEpochs = 1
 	cfg.ClientBatch = 32
-	cfg.ServerBatch = 1024
+	cfg.ServerBatch = 8192
 	if o.Quick {
 		cfg.Rounds = 2
 	}
@@ -123,6 +140,7 @@ func RunScalability(o Options) (*ScalabilityResult, error) {
 		wcfg := cfg
 		wcfg.Workers = workers
 		wcfg.EvalWorkers = workers
+		wcfg.TrainWorkers = workers
 		tr, err := fed.NewTrainer(sp, wcfg)
 		if err != nil {
 			return nil, fmt.Errorf("scalability: %w", err)
@@ -135,17 +153,24 @@ func RunScalability(o Options) (*ScalabilityResult, error) {
 			rounds = append(rounds, tr.RunRound(round))
 		}
 		trainSecs := time.Since(start).Seconds()
+		phases := tr.PhaseSeconds()
 
 		start = time.Now()
 		ev := tr.EvaluateServer()
 		evalSecs := time.Since(start).Seconds()
 
+		perRound := 1 / float64(cfg.Rounds)
 		row := ScalabilityRow{
-			Workers:   workers,
-			RoundSecs: trainSecs / float64(cfg.Rounds),
-			EvalSecs:  evalSecs,
-			Recall:    ev.Recall,
-			NDCG:      ev.NDCG,
+			Workers:         workers,
+			RoundSecs:       trainSecs * perRound,
+			EvalSecs:        evalSecs,
+			Recall:          ev.Recall,
+			NDCG:            ev.NDCG,
+			ClientSecs:      phases.ClientTrain * perRound,
+			AbsorbSecs:      phases.Absorb * perRound,
+			GraphSecs:       phases.GraphBuild * perRound,
+			ServerTrainSecs: phases.ServerTrain * perRound,
+			DisperseSecs:    phases.Disperse * perRound,
 		}
 		if row.RoundSecs > 0 {
 			row.RoundsPerSec = 1 / row.RoundSecs
@@ -153,6 +178,7 @@ func RunScalability(o Options) (*ScalabilityResult, error) {
 		if len(res.Rows) == 0 {
 			refRounds, refEval = rounds, ev
 			row.RoundSpeedup, row.EvalSpeedup = 1, 1
+			row.ServerTrainSpeedup, row.GraphSpeedup = 1, 1
 		} else {
 			base := res.Rows[0]
 			if row.RoundSecs > 0 {
@@ -160,6 +186,12 @@ func RunScalability(o Options) (*ScalabilityResult, error) {
 			}
 			if row.EvalSecs > 0 {
 				row.EvalSpeedup = base.EvalSecs / row.EvalSecs
+			}
+			if row.ServerTrainSecs > 0 {
+				row.ServerTrainSpeedup = base.ServerTrainSecs / row.ServerTrainSecs
+			}
+			if row.GraphSecs > 0 {
+				row.GraphSpeedup = base.GraphSecs / row.GraphSecs
 			}
 			if ev != refEval || !roundsEqual(refRounds, rounds) {
 				res.Deterministic = false
@@ -194,6 +226,14 @@ func (r *ScalabilityResult) Print(w io.Writer) {
 	for _, row := range r.Rows {
 		fmt.Fprintf(w, "  %-8d %12.3f %12.3f %10.2fx %10.3f %10.2fx\n",
 			row.Workers, row.RoundSecs, row.RoundsPerSec, row.RoundSpeedup, row.EvalSecs, row.EvalSpeedup)
+	}
+	fmt.Fprintln(w, "  per-phase (secs/round):")
+	fmt.Fprintf(w, "  %-8s %10s %10s %10s %12s %10s %12s %12s\n",
+		"workers", "client", "absorb", "graph", "server-sgd", "disperse", "sgd-spdup", "graph-spdup")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "  %-8d %10.3f %10.3f %10.3f %12.3f %10.3f %11.2fx %11.2fx\n",
+			row.Workers, row.ClientSecs, row.AbsorbSecs, row.GraphSecs,
+			row.ServerTrainSecs, row.DisperseSecs, row.ServerTrainSpeedup, row.GraphSpeedup)
 	}
 	fmt.Fprintf(w, "  metrics identical across worker counts: %v (recall@20=%.4f ndcg@20=%.4f)\n",
 		r.Deterministic, r.Rows[0].Recall, r.Rows[0].NDCG)

@@ -29,6 +29,14 @@ func TestRunScalability(t *testing.T) {
 		if row.Recall != res.Rows[0].Recall || row.NDCG != res.Rows[0].NDCG {
 			t.Fatalf("row %+v metrics differ from baseline %+v", row, res.Rows[0])
 		}
+		// Per-phase timings must be populated and account for the round: the
+		// LightGCN server guarantees non-zero graph-build and SGD phases.
+		if row.ServerTrainSecs <= 0 || row.GraphSecs <= 0 || row.ClientSecs <= 0 {
+			t.Fatalf("row %+v missing per-phase timings", row)
+		}
+		if row.ServerTrainSpeedup <= 0 || row.GraphSpeedup <= 0 {
+			t.Fatalf("row %+v missing per-phase speedups", row)
+		}
 	}
 
 	var buf bytes.Buffer

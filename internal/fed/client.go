@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"ptffedrec/internal/bitset"
 	"ptffedrec/internal/comm"
 	"ptffedrec/internal/graph"
 	"ptffedrec/internal/models"
@@ -28,8 +29,10 @@ type Client struct {
 	serverData []comm.Prediction
 
 	// lastUpload remembers the most recent D̂ᵗᵢ item set so the server-side
-	// dispersal can honour the "vⱼ ∉ V̂ᵗᵢ" constraint of Eq. 9.
-	lastUpload map[int]bool
+	// dispersal can honour the "vⱼ ∉ V̂ᵗᵢ" constraint of Eq. 9. It is a
+	// bitset over the item universe, allocated on the client's first upload
+	// and reset-and-refilled every round.
+	lastUpload *bitset.Set
 }
 
 // newClient builds the client's local model. Graph client models (Table VIII)
@@ -158,9 +161,13 @@ func (c *Client) buildUpload(negatives []int) []comm.Prediction {
 	// partition.
 	c.s.Shuffle(len(preds), func(i, j int) { preds[i], preds[j] = preds[j], preds[i] })
 
-	c.lastUpload = make(map[int]bool, len(preds))
+	if c.lastUpload == nil {
+		c.lastUpload = bitset.New(c.numItems)
+	} else {
+		c.lastUpload.Reset()
+	}
 	for _, p := range preds {
-		c.lastUpload[p.Item] = true
+		c.lastUpload.Add(p.Item)
 	}
 	return preds
 }

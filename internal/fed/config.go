@@ -101,6 +101,14 @@ type Config struct {
 	// worker count.
 	EvalWorkers int
 
+	// TrainWorkers bounds the server model's intra-batch parallelism
+	// (0 = GOMAXPROCS): every TrainBatch shards its forward/backward over
+	// fixed-size gradient chunks computed on this many workers and merged in
+	// chunk order, so seeded runs are bitwise-identical for every value.
+	// Client models always train serially — they already run on the Workers
+	// pool.
+	TrainWorkers int
+
 	// Faults optionally injects client dropouts and truncated uploads to
 	// exercise the protocol's robustness (zero value = no faults).
 	Faults FaultPlan

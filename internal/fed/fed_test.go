@@ -154,7 +154,7 @@ func TestDispersalRespectsUploadExclusion(t *testing.T) {
 	tr.RunRound(0)
 	for _, c := range tr.Clients() {
 		for _, p := range c.ServerData() {
-			if c.lastUpload[p.Item] {
+			if c.lastUpload.Contains(p.Item) {
 				t.Fatalf("client %d: dispersed item %d was in its upload", c.ID, p.Item)
 			}
 			if p.Score < 0 || p.Score > 1 {
@@ -205,7 +205,7 @@ func TestConfidenceSelectionPrefersFrequentItems(t *testing.T) {
 	// Dispersed items should have frequency >= the median eligible item.
 	freqs := make([]int, 0)
 	for v := 0; v < sp.NumItems; v++ {
-		if !c.lastUpload[v] {
+		if !c.lastUpload.Contains(v) {
 			freqs = append(freqs, tr.Server().ItemFrequency(v))
 		}
 	}

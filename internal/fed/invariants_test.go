@@ -31,20 +31,18 @@ func TestUploadInvariants(t *testing.T) {
 			var totalUpload, totalPool int
 			for _, c := range tr.Clients() {
 				pool := len(c.positives) * (1 + cfg.NegRatio)
-				seen := map[int]bool{}
-				for item := range c.lastUpload {
+				if c.lastUpload.Cap() != sp.NumItems {
+					t.Fatalf("defense %s: upload set sized %d, universe %d", defense, c.lastUpload.Cap(), sp.NumItems)
+				}
+				c.lastUpload.ForEach(func(item int) {
 					if item < 0 || item >= sp.NumItems {
 						t.Fatalf("defense %s: uploaded item %d outside universe", defense, item)
 					}
-					if seen[item] {
-						t.Fatalf("defense %s: duplicate uploaded item %d", defense, item)
-					}
-					seen[item] = true
+				})
+				if c.lastUpload.Count() > pool {
+					t.Fatalf("defense %s: upload %d exceeds trained pool %d", defense, c.lastUpload.Count(), pool)
 				}
-				if len(c.lastUpload) > pool {
-					t.Fatalf("defense %s: upload %d exceeds trained pool %d", defense, len(c.lastUpload), pool)
-				}
-				totalUpload += len(c.lastUpload)
+				totalUpload += c.lastUpload.Count()
 				totalPool += pool
 			}
 			if defense == privacy.DefenseSampling || defense == privacy.DefenseSamplingSwap {

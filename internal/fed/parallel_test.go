@@ -1,6 +1,7 @@
 package fed
 
 import (
+	"bytes"
 	"testing"
 
 	"ptffedrec/internal/models"
@@ -94,4 +95,104 @@ func TestHistoryInvariantWithFaults(t *testing.T) {
 	serial := runHistory(t, cfg)
 	cfg.Workers, cfg.EvalWorkers = 8, 8
 	requireEqualHistories(t, "faults", serial, runHistory(t, cfg))
+}
+
+// runHistoryWithSnapshot executes a full run and also captures the hidden
+// server model's final parameters.
+func runHistoryWithSnapshot(t *testing.T, cfg Config) (*History, []byte) {
+	t.Helper()
+	tr, err := NewTrainer(tinySplit(t), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := tr.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.Server().Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return h, buf.Bytes()
+}
+
+// TestHistoryInvariantAcrossTrainWorkers pins the gradient workspace engine's
+// guarantee end to end, for every server model kind: the entire History AND
+// the hidden model's final parameters are bitwise-identical for
+// TrainWorkers ∈ {1, 2, 8}.
+func TestHistoryInvariantAcrossTrainWorkers(t *testing.T) {
+	kinds := []models.Kind{models.KindMF, models.KindNeuMF, models.KindNGCF, models.KindLightGCN}
+	if testing.Short() {
+		kinds = []models.Kind{models.KindNeuMF, models.KindLightGCN}
+	}
+	for _, server := range kinds {
+		cfg := fastConfig(server)
+		cfg.Rounds = 2
+		cfg.EvalEvery = 1
+		// A batch size below the trained-sample count would already exercise
+		// the engine, but shrink it to guarantee multiple chunks per batch.
+		cfg.ServerBatch = 512
+
+		cfg.TrainWorkers = 1
+		serial, serialSnap := runHistoryWithSnapshot(t, cfg)
+		for _, workers := range []int{2, 8} {
+			cfg.TrainWorkers = workers
+			h, snap := runHistoryWithSnapshot(t, cfg)
+			requireEqualHistories(t, string(server), serial, h)
+			if !bytes.Equal(serialSnap, snap) {
+				t.Fatalf("%s: TrainWorkers=%d server snapshot differs from TrainWorkers=1", server, workers)
+			}
+		}
+	}
+}
+
+// TestPhaseSecondsAccumulate checks the per-phase timers cover the round and
+// reset cleanly, without ever entering the deterministic RoundStats.
+func TestPhaseSecondsAccumulate(t *testing.T) {
+	cfg := fastConfig(models.KindLightGCN)
+	cfg.Rounds = 1
+	tr, err := NewTrainer(tinySplit(t), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.RunRound(0)
+	ph := tr.PhaseSeconds()
+	if ph.Total() <= 0 {
+		t.Fatalf("phase total = %v, want > 0", ph.Total())
+	}
+	if ph.ClientTrain <= 0 || ph.ServerTrain <= 0 || ph.Disperse <= 0 {
+		t.Fatalf("missing phase timings: %+v", ph)
+	}
+	if ph.GraphBuild <= 0 {
+		t.Fatalf("graph server model recorded no graph-build time: %+v", ph)
+	}
+	tr.ResetPhaseSeconds()
+	if tr.PhaseSeconds().Total() != 0 {
+		t.Fatal("ResetPhaseSeconds did not zero the timers")
+	}
+}
+
+// TestTruncatedUploadsHonourWireCodec pins the fault-path codec fix: when
+// QuantizeScores is on, a truncated upload must be re-encoded with the
+// quantized codec (9-byte triples), not the float32 one.
+func TestTruncatedUploadsHonourWireCodec(t *testing.T) {
+	cfg := fastConfig(models.KindNeuMF)
+	cfg.Rounds = 1
+	cfg.QuantizeScores = true
+	cfg.Faults = FaultPlan{TruncateRate: 1.0}
+	tr, err := NewTrainer(tinySplit(t), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := tr.RunRound(0)
+	var preds int
+	for _, up := range tr.Server().latestUpload {
+		preds += len(up)
+	}
+	if preds == 0 {
+		t.Fatal("no uploads reached the server")
+	}
+	if want := int64(9 * preds); rs.UploadBytes != want {
+		t.Fatalf("UploadBytes = %d, want %d (9 bytes × %d quantized triples)", rs.UploadBytes, want, preds)
+	}
 }

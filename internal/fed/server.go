@@ -40,7 +40,10 @@ func newServer(numUsers, numItems int, cfg *Config, parent *rng.Stream) (*Server
 		Dim:      cfg.Dim,
 		LR:       cfg.LR,
 		Layers:   cfg.Layers,
-		Seed:     cfg.Seed ^ 0xabcdef12345678,
+		// The hidden model's SGD shards every batch over the gradient
+		// workspace engine; 0 resolves to GOMAXPROCS like the other knobs.
+		TrainWorkers: par.Workers(cfg.TrainWorkers),
+		Seed:         cfg.Seed ^ 0xabcdef12345678,
 	}
 	m, err := models.New(cfg.ServerModel, mcfg)
 	if err != nil {
@@ -134,7 +137,8 @@ func (sv *Server) absorb(uploads [][]comm.Prediction, workers int) {
 // latest upload. Soft-positive edges come either from an absolute score
 // threshold or, when GraphTopFrac is set, from each user's top-scored
 // fraction (robust to per-client calibration drift). Only graph server
-// models pay this cost.
+// models pay this cost; SetGraph itself shards the adjacency/CSR build over
+// the model's TrainWorkers.
 func (sv *Server) rebuildGraph() {
 	gm, ok := sv.model.(models.GraphRecommender)
 	if !ok {
@@ -185,8 +189,10 @@ func (sv *Server) rebuildGraph() {
 // Flattening the uploads into the training set is sharded over workers into
 // precomputed offset ranges, so the sample order — and with it the shuffle
 // and every optimizer step — is identical to the serial construction. The
-// SGD loop itself stays sequential: that is what makes seeded runs exactly
-// reproducible.
+// SGD loop itself visits batches sequentially; inside each TrainBatch the
+// model's gradient workspace engine shards the forward/backward over
+// TrainWorkers with a chunk-ordered merge, which is what keeps seeded runs
+// exactly reproducible at any worker count.
 func (sv *Server) train(uploads [][]comm.Prediction, workers int) float64 {
 	offsets := make([]int, len(uploads)+1)
 	for i, up := range uploads {
@@ -218,6 +224,46 @@ func (sv *Server) train(uploads [][]comm.Prediction, workers int) float64 {
 	return loss / float64(batches)
 }
 
+// dispersalPlan is the round-scoped shared state of Eq. 9's dispersal: the
+// global confidence ranking depends only on the absorbed frequency counters,
+// so it is computed once per round instead of re-sorted per client.
+type dispersalPlan struct {
+	// confRank lists every item by (update frequency desc, id asc). Filtering
+	// it by a client's eligibility preserves relative order, so a per-client
+	// walk reproduces exactly what a per-client stable sort produced.
+	confRank []int
+}
+
+// buildDispersalPlan snapshots the round's confidence ranking. Call after
+// absorb; the itemFreq counters must not change while the plan is in use.
+func (sv *Server) buildDispersalPlan() *dispersalPlan {
+	plan := &dispersalPlan{}
+	if sv.cfg.Alpha <= 0 {
+		return plan
+	}
+	nConf := int(sv.cfg.Mu * float64(sv.cfg.Alpha))
+	confRandom := sv.cfg.Disperse == DisperseNoConf || sv.cfg.Disperse == DisperseAllRandom
+	if nConf > 0 && !confRandom {
+		rank := make([]int, sv.numItems)
+		for i := range rank {
+			rank[i] = i
+		}
+		sort.SliceStable(rank, func(a, b int) bool {
+			return sv.itemFreq[rank[a]] > sv.itemFreq[rank[b]]
+		})
+		plan.confRank = rank
+	}
+	return plan
+}
+
+// disperseScratch is per-worker reusable storage for the dispersal loop, so
+// a worker's whole share of clients runs with three allocations total.
+type disperseScratch struct {
+	eligible []int
+	scores   []float64
+	top      []int
+}
+
 // disperse builds D̃ᵢ for one client (Eq. 9): µα items by update-frequency
 // confidence plus (1−µ)α hard items by server score, all outside the client's
 // current upload, scored by the hidden model. The Table VII ablations replace
@@ -227,88 +273,178 @@ func (sv *Server) train(uploads [][]comm.Prediction, workers int) float64 {
 // client its own stream — instead of consuming a shared server stream in
 // visit order — is what lets the dispersal loop run on a worker pool while
 // seeded runs stay reproducible for any worker count. disperse itself only
-// reads server state, so concurrent calls for distinct clients are safe once
-// the model's scoring cache is warm.
-func (sv *Server) disperse(c *Client, ds *rng.Stream) []comm.Prediction {
+// reads server state (and the caller-owned scratch), so concurrent calls for
+// distinct clients are safe once the model's scoring cache is warm.
+func (sv *Server) disperse(c *Client, ds *rng.Stream, plan *dispersalPlan, scratch *disperseScratch) []comm.Prediction {
 	alpha := sv.cfg.Alpha
 	if alpha <= 0 {
 		return nil
 	}
-	eligible := make([]int, 0, sv.numItems)
-	for v := 0; v < sv.numItems; v++ {
-		if !c.lastUpload[v] {
-			eligible = append(eligible, v)
-		}
-	}
-	if len(eligible) == 0 {
-		return nil
-	}
+	excluded := func(v int) bool { return c.lastUpload != nil && c.lastUpload.Contains(v) }
+
 	nConf := int(sv.cfg.Mu * float64(alpha))
 	nHard := alpha - nConf
-
-	chosen := make(map[int]bool, alpha)
-	var items []int
 
 	confRandom := sv.cfg.Disperse == DisperseNoConf || sv.cfg.Disperse == DisperseAllRandom
 	hardRandom := sv.cfg.Disperse == DisperseNoHard || sv.cfg.Disperse == DisperseAllRandom
 
+	// The random ablation arms and the hard half both need the eligible set
+	// as a slice; the pure-confidence path gets by on the bitset alone.
+	var eligible []int
+	if nHard > 0 || (nConf > 0 && confRandom) {
+		eligible = scratch.eligible[:0]
+		for v := 0; v < sv.numItems; v++ {
+			if !excluded(v) {
+				eligible = append(eligible, v)
+			}
+		}
+		scratch.eligible = eligible
+		if len(eligible) == 0 {
+			return nil
+		}
+	}
+
+	items := make([]int, 0, alpha)
+	chosen := func(v int) bool {
+		for _, w := range items {
+			if w == v {
+				return true
+			}
+		}
+		return false
+	}
 	pick := func(ranked []int, n int) {
 		for _, v := range ranked {
 			if n == 0 {
 				break
 			}
-			if chosen[v] {
+			if chosen(v) {
 				continue
 			}
-			chosen[v] = true
 			items = append(items, v)
 			n--
 		}
 	}
 
-	// Confidence half: highest update frequency.
+	// Confidence half: highest update frequency, via the round-scoped global
+	// ranking filtered by this client's eligibility.
 	if nConf > 0 {
 		if confRandom {
-			pick(rng.SampleSlice(ds, eligible, min(len(eligible), nConf*2)), nConf)
+			k := nConf * 2
+			if k > len(eligible) {
+				k = len(eligible)
+			}
+			pick(rng.SampleSlice(ds, eligible, k), nConf)
 		} else {
-			ranked := append([]int(nil), eligible...)
-			sort.SliceStable(ranked, func(a, b int) bool {
-				return sv.itemFreq[ranked[a]] > sv.itemFreq[ranked[b]]
-			})
-			pick(ranked, nConf)
+			n := nConf
+			for _, v := range plan.confRank {
+				if n == 0 {
+					break
+				}
+				if excluded(v) {
+					continue
+				}
+				items = append(items, v)
+				n--
+			}
 		}
 	}
 
-	// Hard half: highest server-predicted score for this user.
+	// Hard half: highest server-predicted score for this user. Partial
+	// selection with a bounded heap: the conf half can overlap the score
+	// ranking by at most len(items), so the top (nHard + len(items)) prefix
+	// is guaranteed to contain nHard non-chosen items when enough exist.
 	if nHard > 0 {
 		if hardRandom {
-			pick(rng.SampleSlice(ds, eligible, min(len(eligible), nHard*3)), nHard)
+			k := nHard * 3
+			if k > len(eligible) {
+				k = len(eligible)
+			}
+			pick(rng.SampleSlice(ds, eligible, k), nHard)
 		} else {
-			scores := sv.model.ScoreItems(c.ID, eligible)
-			ranked := make([]int, len(eligible))
-			order := make([]int, len(eligible))
-			for i := range order {
-				order[i] = i
-			}
-			sort.SliceStable(order, func(a, b int) bool { return scores[order[a]] > scores[order[b]] })
-			for i, idx := range order {
-				ranked[i] = eligible[idx]
-			}
-			pick(ranked, nHard)
+			scratch.scores = sv.scoreItems(scratch.scores, c.ID, eligible)
+			scratch.top = topKByScore(scratch.top, eligible, scratch.scores, nHard+len(items))
+			pick(scratch.top, nHard)
 		}
 	}
 
-	scores := sv.model.ScoreItems(c.ID, items)
+	// scratch.scores is dead once topKByScore has consumed it, so the final
+	// scoring pass reuses it; the Prediction structs copy the values out.
+	scratch.scores = sv.scoreItems(scratch.scores, c.ID, items)
 	preds := make([]comm.Prediction, len(items))
 	for i, v := range items {
-		preds[i] = comm.Prediction{User: c.ID, Item: v, Score: scores[i]}
+		preds[i] = comm.Prediction{User: c.ID, Item: v, Score: scratch.scores[i]}
 	}
 	return preds
 }
 
-func min(a, b int) int {
-	if a < b {
-		return a
+// scoreItems scores one user against items, reusing dst when the model
+// supports in-place scoring.
+func (sv *Server) scoreItems(dst []float64, user int, items []int) []float64 {
+	if is, ok := sv.model.(models.InplaceScorer); ok {
+		return is.ScoreItemsInto(dst, user, items)
 	}
-	return b
+	return sv.model.ScoreItems(user, items)
+}
+
+// topKByScore returns the k highest-scoring items ordered by
+// (score desc, item asc) — the exact order a stable descending sort of an
+// ascending item list produces — using a bounded min-heap: O(n log k) with k
+// ≈ α instead of the former per-client O(n log n) full sort. dst is reused
+// when it has capacity.
+func topKByScore(dst, items []int, scores []float64, k int) []int {
+	if k > len(items) {
+		k = len(items)
+	}
+	if k <= 0 {
+		return dst[:0]
+	}
+	// heap[i] is an index into items; the root is the worst kept candidate.
+	// worse = lower score, or equal score and larger item id.
+	worse := func(a, b int) bool {
+		if scores[a] != scores[b] {
+			return scores[a] < scores[b]
+		}
+		return items[a] > items[b]
+	}
+	if cap(dst) < k {
+		dst = make([]int, k)
+	}
+	heap := dst[:k]
+	for i := range heap {
+		heap[i] = i
+	}
+	siftDown := func(i int) {
+		for {
+			l, r := 2*i+1, 2*i+2
+			m := i
+			if l < k && worse(heap[l], heap[m]) {
+				m = l
+			}
+			if r < k && worse(heap[r], heap[m]) {
+				m = r
+			}
+			if m == i {
+				return
+			}
+			heap[i], heap[m] = heap[m], heap[i]
+			i = m
+		}
+	}
+	for i := k/2 - 1; i >= 0; i-- {
+		siftDown(i)
+	}
+	for i := k; i < len(items); i++ {
+		if worse(heap[0], i) {
+			heap[0] = i
+			siftDown(0)
+		}
+	}
+	// Sort the kept indices into the final (score desc, id asc) order and
+	// rewrite them as item ids in place.
+	sort.Slice(heap, func(a, b int) bool { return worse(heap[b], heap[a]) })
+	for i, idx := range heap {
+		heap[i] = items[idx]
+	}
+	return heap
 }

@@ -1,0 +1,58 @@
+package fed
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"ptffedrec/internal/rng"
+)
+
+// topKReference is the semantics topKByScore promises: a stable descending
+// sort of the (ascending-id) item list by score, truncated to k — exactly
+// what the pre-plan per-client full sort produced.
+func topKReference(items []int, scores []float64, k int) []int {
+	order := make([]int, len(items))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return scores[order[a]] > scores[order[b]] })
+	if k > len(items) {
+		k = len(items)
+	}
+	out := make([]int, k)
+	for i := 0; i < k; i++ {
+		out[i] = items[order[i]]
+	}
+	return out
+}
+
+// TestTopKByScoreMatchesStableSort fuzzes the bounded-heap partial selection
+// against the full-sort reference, including heavy score ties (quantized
+// scores make ties common in practice) and k ≥ n edge cases.
+func TestTopKByScoreMatchesStableSort(t *testing.T) {
+	s := rng.New(77)
+	var buf []int
+	for trial := 0; trial < 500; trial++ {
+		n := 1 + s.Intn(120)
+		k := s.Intn(n + 5)
+		items := make([]int, n)
+		scores := make([]float64, n)
+		for i := range items {
+			items[i] = i
+			// Draw from a small grid so ties are frequent.
+			scores[i] = float64(s.Intn(12)) / 11
+		}
+		buf = topKByScore(buf, items, scores, k)
+		want := topKReference(items, scores, k)
+		if len(want) == 0 {
+			if len(buf) != 0 {
+				t.Fatalf("trial %d: got %v, want empty", trial, buf)
+			}
+			continue
+		}
+		if !reflect.DeepEqual(buf, want) {
+			t.Fatalf("trial %d (n=%d k=%d): topKByScore = %v, reference %v", trial, n, k, buf, want)
+		}
+	}
+}

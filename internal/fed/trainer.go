@@ -2,6 +2,7 @@ package fed
 
 import (
 	"fmt"
+	"time"
 
 	"ptffedrec/internal/comm"
 	"ptffedrec/internal/data"
@@ -33,6 +34,23 @@ type History struct {
 	MeanAttackF1 float64
 }
 
+// PhaseSeconds is cumulative wall-clock per round phase across RunRound
+// calls — the per-phase breakdown the scalability experiment reports. It is
+// deliberately kept out of RoundStats so timing jitter never enters the
+// determinism contract on training traces.
+type PhaseSeconds struct {
+	ClientTrain float64 // parallel local training + upload construction
+	Absorb      float64 // confidence counters + latest-view ingestion
+	GraphBuild  float64 // adjacency/CSR rebuild (graph server models only)
+	ServerTrain float64 // server-side SGD (Eq. 5)
+	Disperse    float64 // per-client D̃ᵢ construction + encoding
+}
+
+// Total sums the phases.
+func (p PhaseSeconds) Total() float64 {
+	return p.ClientTrain + p.Absorb + p.GraphBuild + p.ServerTrain + p.Disperse
+}
+
 // Trainer orchestrates PTF-FedRec end to end (Algorithm 1).
 type Trainer struct {
 	cfg     Config
@@ -41,6 +59,7 @@ type Trainer struct {
 	server  *Server
 	meter   *comm.Meter
 	root    *rng.Stream
+	phases  PhaseSeconds
 }
 
 // NewTrainer wires up one client per user and the hidden server model.
@@ -82,6 +101,13 @@ func (t *Trainer) Meter() *comm.Meter { return t.meter }
 // Config returns the active configuration.
 func (t *Trainer) Config() Config { return t.cfg }
 
+// PhaseSeconds returns the cumulative per-phase wall-clock since construction
+// (or the last ResetPhaseSeconds).
+func (t *Trainer) PhaseSeconds() PhaseSeconds { return t.phases }
+
+// ResetPhaseSeconds zeroes the per-phase timers.
+func (t *Trainer) ResetPhaseSeconds() { t.phases = PhaseSeconds{} }
+
 // clientResult carries one participant's round output.
 type clientResult struct {
 	client   *Client
@@ -105,6 +131,7 @@ func (t *Trainer) RunRound(round int) RoundStats {
 	// 2. Parallel client local training + upload construction. Every write
 	// goes to the goroutine's own slot, so the round is deterministic for any
 	// worker count.
+	phaseStart := time.Now()
 	workers := par.Workers(t.cfg.Workers)
 	results := make([]clientResult, len(idx))
 	par.For(len(idx), workers, func(slot int) {
@@ -120,8 +147,12 @@ func (t *Trainer) RunRound(round int) RoundStats {
 			}
 			defer func() {
 				if fs.Bernoulli(t.cfg.Faults.TruncateRate) && len(results[slot].upload) > 1 {
-					results[slot].upload = results[slot].upload[:len(results[slot].upload)/2]
-					results[slot].upBytes = len(comm.EncodePredictions(results[slot].upload))
+					// The halved upload goes back through the configured wire
+					// codec, so UploadBytes and the scores the server sees
+					// honour QuantizeScores for truncated clients too.
+					upload, upBytes := t.encodeForWire(results[slot].upload[:len(results[slot].upload)/2])
+					results[slot].upload = upload
+					results[slot].upBytes = upBytes
 				}
 			}()
 		}
@@ -141,6 +172,7 @@ func (t *Trainer) RunRound(round int) RoundStats {
 			upBytes:  upBytes,
 		}
 	})
+	t.phases.ClientTrain += time.Since(phaseStart).Seconds()
 
 	stats := RoundStats{Round: round, Participants: len(idx)}
 	uploads := make([][]comm.Prediction, 0, len(results))
@@ -164,31 +196,51 @@ func (t *Trainer) RunRound(round int) RoundStats {
 	}
 
 	// 3. Server-side: absorb uploads, rebuild the graph, optimise Eq. 5. The
-	// absorb counters and the training-set construction shard over the same
-	// worker pool; the optimizer steps stay sequential for reproducibility.
+	// absorb counters and the training-set construction shard over the round
+	// pool; inside every server TrainBatch the gradient workspace engine
+	// shards over TrainWorkers with a chunk-ordered merge.
+	phaseStart = time.Now()
 	t.server.absorb(uploads, workers)
-	t.server.rebuildGraph()
-	stats.ServerLoss = t.server.train(uploads, workers)
+	t.phases.Absorb += time.Since(phaseStart).Seconds()
 
-	// 4. Disperse D̃ᵢ to the round's participants on the worker pool. Each
-	// client draws from a stream derived per (round, client), and dispersal
-	// only reads server state, so results match the serial loop exactly.
+	phaseStart = time.Now()
+	t.server.rebuildGraph()
+	t.phases.GraphBuild += time.Since(phaseStart).Seconds()
+
+	phaseStart = time.Now()
+	stats.ServerLoss = t.server.train(uploads, workers)
+	t.phases.ServerTrain += time.Since(phaseStart).Seconds()
+
+	// 4. Disperse D̃ᵢ to the round's participants on the worker pool. The
+	// global confidence ranking is computed once for the round; each client
+	// draws from a stream derived per (round, client), and dispersal only
+	// reads server state (plus per-worker scratch), so results match the
+	// serial loop exactly.
+	phaseStart = time.Now()
 	if w, ok := t.server.model.(eval.Warmer); ok && workers > 1 && len(results) > 0 {
 		w.WarmScoring()
 	}
 	dispersed := make([]int, len(results))
-	par.For(len(results), workers, func(i int) {
-		r := results[i]
-		ds := t.root.DeriveN("disperse", round).DeriveN("client", r.client.ID)
-		preds := t.server.disperse(r.client, ds)
-		preds, nBytes := t.encodeForWire(preds)
-		r.client.receiveDispersal(preds)
-		dispersed[i] = nBytes
-	})
+	if len(results) > 0 {
+		plan := t.server.buildDispersalPlan()
+		chunk := (len(results) + workers - 1) / workers
+		par.ForChunks(len(results), chunk, workers, func(lo, hi int) {
+			scratch := &disperseScratch{}
+			for i := lo; i < hi; i++ {
+				r := results[i]
+				ds := t.root.DeriveN("disperse", round).DeriveN("client", r.client.ID)
+				preds := t.server.disperse(r.client, ds, plan, scratch)
+				preds, nBytes := t.encodeForWire(preds)
+				r.client.receiveDispersal(preds)
+				dispersed[i] = nBytes
+			}
+		})
+	}
 	for i, r := range results {
 		stats.DispersBytes += int64(dispersed[i])
 		t.meter.AddDown(r.client.ID, dispersed[i])
 	}
+	t.phases.Disperse += time.Since(phaseStart).Seconds()
 	t.meter.EndRound()
 	return stats
 }

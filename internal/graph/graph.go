@@ -10,6 +10,7 @@ package graph
 import (
 	"math"
 
+	"ptffedrec/internal/par"
 	"ptffedrec/internal/tensor"
 )
 
@@ -57,52 +58,75 @@ func (g *Bipartite) UserDegree(u int) float64 { return g.userDeg[u] }
 // ItemDegree returns the (weighted) degree of item v.
 func (g *Bipartite) ItemDegree(v int) float64 { return g.itemDeg[v] }
 
+// adjEdgeChunk is the edge-range granularity of the parallel triplet fill. A
+// scheduling knob only: every triplet is written to a slot derived from its
+// edge index, so the partitioning never affects the result.
+const adjEdgeChunk = 4096
+
+// normalizedTriplets fills the symmetric (edge, mirror) triplet pairs for
+// every edge with positive endpoint degrees, sharding the normalisation over
+// workers, and compacts out the skipped edges in index order — exactly the
+// serial construction's triplet sequence.
+func (g *Bipartite) normalizedTriplets(extra, workers int) []tensor.Triplet {
+	trips := make([]tensor.Triplet, 2*len(g.edges), 2*len(g.edges)+extra)
+	par.ForChunks(len(g.edges), adjEdgeChunk, workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			e := g.edges[i]
+			du := g.userDeg[e.User]
+			dv := g.itemDeg[e.Item]
+			if du <= 0 || dv <= 0 {
+				trips[2*i] = tensor.Triplet{Row: -1}
+				trips[2*i+1] = tensor.Triplet{Row: -1}
+				continue
+			}
+			w := e.Weight / math.Sqrt(du*dv)
+			un := e.User
+			vn := g.NumUsers + e.Item
+			trips[2*i] = tensor.Triplet{Row: un, Col: vn, Val: w}
+			trips[2*i+1] = tensor.Triplet{Row: vn, Col: un, Val: w}
+		}
+	})
+	// Compact out skip markers (zero-degree endpoints are rare; the common
+	// case moves nothing).
+	out := trips[:0]
+	for _, t := range trips {
+		if t.Row >= 0 {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
 // NormalizedAdj returns the symmetric normalized adjacency
 // Â = D^{-1/2} A D^{-1/2} over the (users+items) node set. Isolated nodes
 // produce empty rows, which simply propagate nothing.
 func (g *Bipartite) NormalizedAdj() *tensor.CSR {
+	return g.NormalizedAdjPar(1)
+}
+
+// NormalizedAdjPar is NormalizedAdj with the triplet construction and CSR row
+// bucketing sharded over workers. The matrix is bitwise-identical to the
+// serial build for every worker count.
+func (g *Bipartite) NormalizedAdjPar(workers int) *tensor.CSR {
 	n := g.NumNodes()
-	trips := make([]tensor.Triplet, 0, 2*len(g.edges))
-	for _, e := range g.edges {
-		du := g.userDeg[e.User]
-		dv := g.itemDeg[e.Item]
-		if du <= 0 || dv <= 0 {
-			continue
-		}
-		w := e.Weight / math.Sqrt(du*dv)
-		un := e.User
-		vn := g.NumUsers + e.Item
-		trips = append(trips,
-			tensor.Triplet{Row: un, Col: vn, Val: w},
-			tensor.Triplet{Row: vn, Col: un, Val: w},
-		)
-	}
-	return tensor.NewCSR(n, n, trips)
+	return tensor.NewCSRPar(n, n, g.normalizedTriplets(0, workers), workers)
 }
 
 // NormalizedAdjSelf returns Â + I, the self-loop-augmented propagation
 // operator NGCF uses for its self-retaining term.
 func (g *Bipartite) NormalizedAdjSelf() *tensor.CSR {
+	return g.NormalizedAdjSelfPar(1)
+}
+
+// NormalizedAdjSelfPar is NormalizedAdjSelf with the same worker-count
+// invariance as NormalizedAdjPar.
+func (g *Bipartite) NormalizedAdjSelfPar(workers int) *tensor.CSR {
 	n := g.NumNodes()
-	trips := make([]tensor.Triplet, 0, 2*len(g.edges)+n)
-	for _, e := range g.edges {
-		du := g.userDeg[e.User]
-		dv := g.itemDeg[e.Item]
-		if du <= 0 || dv <= 0 {
-			continue
-		}
-		w := e.Weight / math.Sqrt(du*dv)
-		un := e.User
-		vn := g.NumUsers + e.Item
-		trips = append(trips,
-			tensor.Triplet{Row: un, Col: vn, Val: w},
-			tensor.Triplet{Row: vn, Col: un, Val: w},
-		)
-	}
+	trips := g.normalizedTriplets(n, workers)
 	for i := 0; i < n; i++ {
 		trips = append(trips, tensor.Triplet{Row: i, Col: i, Val: 1})
 	}
-	return tensor.NewCSR(n, n, trips)
+	return tensor.NewCSRPar(n, n, trips, workers)
 }
 
 // UserNode returns the node index for user u.

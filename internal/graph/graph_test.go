@@ -3,6 +3,8 @@ package graph
 import (
 	"math"
 	"testing"
+
+	"ptffedrec/internal/tensor"
 )
 
 func buildSmall() *Bipartite {
@@ -135,5 +137,56 @@ func TestPropagationMixesNeighbors(t *testing.T) {
 	}
 	if y[g.ItemNode(0)] != 0 || y[g.ItemNode(2)] != 0 {
 		t.Fatal("signal leaked to non-neighbors in one hop")
+	}
+}
+
+// randomGraph builds a graph big enough to span several parallel chunks,
+// including a zero-weight edge cluster that exercises the skip compaction.
+func randomGraph(users, items, edges int) *Bipartite {
+	g := NewBipartite(users, items)
+	state := uint64(12345)
+	next := func(n int) int {
+		state = state*6364136223846793005 + 1442695040888963407
+		return int((state >> 33) % uint64(n))
+	}
+	// Random edges avoid the last user/item so those stay at exactly zero
+	// degree below.
+	for i := 0; i < edges; i++ {
+		w := 0.05 + float64(next(95))/100
+		g.AddEdge(next(users-1), next(items-1), w)
+	}
+	// An isolated user–item pair whose only edge has weight 0: both endpoint
+	// degrees are 0, so the edge hits the skip/compaction path.
+	g.AddEdge(users-1, items-1, 0)
+	return g
+}
+
+// TestNormalizedAdjParMatchesSerial pins the parallel adjacency build's
+// bitwise equality with the serial one, for both operators.
+func TestNormalizedAdjParMatchesSerial(t *testing.T) {
+	g := randomGraph(800, 600, 20000)
+	adj := g.NormalizedAdj()
+	adjSelf := g.NormalizedAdjSelf()
+	for _, workers := range []int{2, 3, 8} {
+		p := g.NormalizedAdjPar(workers)
+		ps := g.NormalizedAdjSelfPar(workers)
+		for _, pair := range []struct {
+			name string
+			a, b *tensor.CSR
+		}{{"adj", adj, p}, {"adj+I", adjSelf, ps}} {
+			if pair.a.NNZ() != pair.b.NNZ() {
+				t.Fatalf("%s workers=%d: NNZ %d vs %d", pair.name, workers, pair.a.NNZ(), pair.b.NNZ())
+			}
+			for i := range pair.a.Val {
+				if pair.a.Val[i] != pair.b.Val[i] || pair.a.ColIdx[i] != pair.b.ColIdx[i] {
+					t.Fatalf("%s workers=%d: entry %d differs", pair.name, workers, i)
+				}
+			}
+			for r := 0; r <= pair.a.Rows; r++ {
+				if pair.a.RowPtr[r] != pair.b.RowPtr[r] {
+					t.Fatalf("%s workers=%d: RowPtr[%d] differs", pair.name, workers, r)
+				}
+			}
+		}
 	}
 }

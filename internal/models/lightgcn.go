@@ -16,9 +16,10 @@ import (
 // Backpropagation exploits Â's symmetry: dE⁰ = Σ_l c·Â^l dE_final, computed
 // with the recurrence G_{l-1} = c·dF + Â·G_l.
 type LightGCN struct {
-	cfg Config
-	e0  *nn.Param // (U+V)×d
-	opt *nn.Adam
+	cfg     Config
+	workers int
+	e0      *nn.Param // (U+V)×d
+	opt     *nn.Adam
 
 	adj   *tensor.CSR
 	final *tensor.Matrix
@@ -28,7 +29,13 @@ type LightGCN struct {
 // NewLightGCN builds the model over an initially empty graph (call SetGraph).
 func NewLightGCN(cfg Config, s *rng.Stream) *LightGCN {
 	n := cfg.NumUsers + cfg.NumItems
-	m := &LightGCN{cfg: cfg, e0: nn.NewParam("lightgcn.E0", n, cfg.Dim), opt: nn.NewAdam(cfg.LR), dirty: true}
+	m := &LightGCN{
+		cfg:     cfg,
+		workers: resolveTrainWorkers(cfg),
+		e0:      nn.NewParam("lightgcn.E0", n, cfg.Dim),
+		opt:     nn.NewAdam(cfg.LR),
+		dirty:   true,
+	}
 	nn.Normal(s.Derive("e0"), m.e0.W, 0.1)
 	m.SetGraph(graph.NewBipartite(cfg.NumUsers, cfg.NumItems))
 	return m
@@ -45,12 +52,13 @@ func (m *LightGCN) SetGraph(g *graph.Bipartite) {
 	if g.NumUsers != m.cfg.NumUsers || g.NumItems != m.cfg.NumItems {
 		panic("models: LightGCN graph universe mismatch")
 	}
-	m.adj = g.NormalizedAdj()
+	m.adj = g.NormalizedAdjPar(m.workers)
 	m.dirty = true
 }
 
 // propagate returns the cached layer-mean embeddings, recomputing when the
-// parameters or graph changed.
+// parameters or graph changed. The SpMM shards over row ranges on the
+// TrainWorkers pool, bitwise-identical for any worker count.
 func (m *LightGCN) propagate() *tensor.Matrix {
 	if !m.dirty && m.final != nil {
 		return m.final
@@ -60,7 +68,7 @@ func (m *LightGCN) propagate() *tensor.Matrix {
 	cur := m.e0.W
 	buf := tensor.New(cur.Rows, cur.Cols)
 	for l := 0; l < m.cfg.Layers; l++ {
-		m.adj.MulDenseInto(buf, cur)
+		m.adj.MulDenseIntoPar(buf, cur, m.workers)
 		final.AddScaled(c, buf)
 		cur = buf.Clone()
 	}
@@ -83,11 +91,16 @@ func (m *LightGCN) Score(u, v int) float64 {
 
 // ScoreItems implements Recommender.
 func (m *LightGCN) ScoreItems(u int, items []int) []float64 {
+	return m.ScoreItemsInto(nil, u, items)
+}
+
+// ScoreItemsInto implements InplaceScorer.
+func (m *LightGCN) ScoreItemsInto(dst []float64, u int, items []int) []float64 {
 	f := m.propagate()
 	urow := f.Row(u)
-	out := make([]float64, len(items))
-	for i, v := range items {
-		out[i] = nn.Sigmoid(dot(urow, f.Row(m.itemNode(v))))
+	out := scoreBuf(dst, len(items))
+	for _, v := range items {
+		out = append(out, nn.Sigmoid(dot(urow, f.Row(m.itemNode(v)))))
 	}
 	return out
 }
@@ -103,26 +116,40 @@ func (m *LightGCN) TrainBatch(batch []Sample) float64 {
 	return loss
 }
 
+// lgcnChunk is one gradient shard's workspace: the shard's loss sum and its
+// sparse contribution to dL/dE_final.
+type lgcnChunk struct {
+	lossSum float64
+	df      *rowAccum
+}
+
 // accumulateGrad computes the batch loss and adds dL/dE⁰ into the parameter
-// gradient without stepping the optimizer.
+// gradient without stepping the optimizer. The per-sample score/seed pass is
+// sharded into fixed chunks merged in chunk order; the propagation backward
+// shards its SpMMs over row ranges.
 func (m *LightGCN) accumulateGrad(batch []Sample) float64 {
 	f := m.propagate()
-	preds := make([]float64, len(batch))
-	targets := make([]float64, len(batch))
-	for i, smp := range batch {
-		preds[i] = nn.Sigmoid(dot(f.Row(smp.User), f.Row(m.itemNode(smp.Item))))
-		targets[i] = smp.Label
-	}
-	loss := nn.BCE(preds, targets)
-	grads := nn.BCELogitGrad(preds, targets)
+	n := len(batch)
+	chunks := make([]lgcnChunk, trainChunks(n))
+	forChunks(n, m.workers, func(c, lo, hi int) {
+		ws := lgcnChunk{df: newRowAccum(m.cfg.Dim)}
+		for _, smp := range batch[lo:hi] {
+			un, vn := smp.User, m.itemNode(smp.Item)
+			pred := nn.Sigmoid(dot(f.Row(un), f.Row(vn)))
+			ws.lossSum += nn.BCEOne(pred, smp.Label)
+			g := (pred - smp.Label) / float64(n)
+			ws.df.axpy(un, g, f.Row(vn))
+			ws.df.axpy(vn, g, f.Row(un))
+		}
+		chunks[c] = ws
+	})
 
-	// dL/dE_final from the dot-product scores.
+	// dL/dE_final from the dot-product scores, merged in chunk order.
 	dF := tensor.New(f.Rows, f.Cols)
-	for i, smp := range batch {
-		g := grads[i]
-		vn := m.itemNode(smp.Item)
-		tensor.Axpy(g, f.Row(vn), dF.Row(smp.User))
-		tensor.Axpy(g, f.Row(smp.User), dF.Row(vn))
+	var lossSum float64
+	for _, ws := range chunks {
+		lossSum += ws.lossSum
+		ws.df.mergeIntoRows(dF.Row)
 	}
 
 	// Back through the propagation: G_L = c·dF, G_{l-1} = c·dF + Â·G_l.
@@ -130,9 +157,9 @@ func (m *LightGCN) accumulateGrad(batch []Sample) float64 {
 	g := dF.Clone().Scale(c)
 	buf := tensor.New(dF.Rows, dF.Cols)
 	for l := m.cfg.Layers; l >= 1; l-- {
-		m.adj.MulDenseInto(buf, g)
+		m.adj.MulDenseIntoPar(buf, g, m.workers)
 		g = dF.Clone().Scale(c).AddInPlace(buf)
 	}
 	m.e0.Grad.AddInPlace(g)
-	return loss
+	return lossSum / float64(n)
 }

@@ -9,15 +9,16 @@ import (
 // MF is logistic matrix factorization: r̂ᵤᵥ = σ(pᵤ·qᵥ). It is the model
 // federated by the FCF and FedMF baselines.
 type MF struct {
-	cfg   Config
-	users embTable
-	items embTable
+	cfg     Config
+	workers int
+	users   embTable
+	items   embTable
 }
 
 // NewMF builds a matrix factorization model.
 func NewMF(cfg Config, s *rng.Stream) *MF {
 	hy := emb.DefaultAdam(cfg.LR)
-	m := &MF{cfg: cfg}
+	m := &MF{cfg: cfg, workers: resolveTrainWorkers(cfg)}
 	if cfg.Lazy {
 		m.users = emb.NewLazyTable(s.Derive("u"), cfg.Dim, hy)
 		m.items = emb.NewLazyTable(s.Derive("v"), cfg.Dim, hy)
@@ -41,10 +42,15 @@ func (m *MF) Score(u, v int) float64 {
 
 // ScoreItems implements Recommender.
 func (m *MF) ScoreItems(u int, items []int) []float64 {
+	return m.ScoreItemsInto(nil, u, items)
+}
+
+// ScoreItemsInto implements InplaceScorer.
+func (m *MF) ScoreItemsInto(dst []float64, u int, items []int) []float64 {
+	out := scoreBuf(dst, len(items))
 	p := m.users.Row(u)
-	out := make([]float64, len(items))
-	for i, v := range items {
-		out[i] = nn.Sigmoid(dot(p, m.items.Row(v)))
+	for _, v := range items {
+		out = append(out, nn.Sigmoid(dot(p, m.items.Row(v))))
 	}
 	return out
 }
@@ -60,31 +66,39 @@ func (m *MF) TrainBatch(batch []Sample) float64 {
 	return loss
 }
 
+// mfChunk is one gradient shard's workspace.
+type mfChunk struct {
+	lossSum      float64
+	users, items *rowAccum
+}
+
 // accumulateGrad computes the batch loss and adds the embedding-row
-// gradients without applying them.
+// gradients without applying them. Chunks of the batch are processed on the
+// TrainWorkers pool into private workspaces (weights are read-only until
+// Step), then merged in chunk order.
 func (m *MF) accumulateGrad(batch []Sample) float64 {
-	preds := make([]float64, len(batch))
-	targets := make([]float64, len(batch))
-	for i, smp := range batch {
-		preds[i] = m.Score(smp.User, smp.Item)
-		targets[i] = smp.Label
-	}
-	loss := nn.BCE(preds, targets)
-	grads := nn.BCELogitGrad(preds, targets)
-	du := make([]float64, m.cfg.Dim)
-	dv := make([]float64, m.cfg.Dim)
-	for i, smp := range batch {
-		p := m.users.Row(smp.User)
-		q := m.items.Row(smp.Item)
-		g := grads[i]
-		for k := 0; k < m.cfg.Dim; k++ {
-			du[k] = g * q[k]
-			dv[k] = g * p[k]
+	n := len(batch)
+	chunks := make([]mfChunk, trainChunks(n))
+	forChunks(n, m.workers, func(c, lo, hi int) {
+		ws := mfChunk{users: newRowAccum(m.cfg.Dim), items: newRowAccum(m.cfg.Dim)}
+		for _, smp := range batch[lo:hi] {
+			p := m.users.Row(smp.User)
+			q := m.items.Row(smp.Item)
+			pred := nn.Sigmoid(dot(p, q))
+			ws.lossSum += nn.BCEOne(pred, smp.Label)
+			g := (pred - smp.Label) / float64(n)
+			ws.users.axpy(smp.User, g, q)
+			ws.items.axpy(smp.Item, g, p)
 		}
-		m.users.Accumulate(smp.User, du)
-		m.items.Accumulate(smp.Item, dv)
+		chunks[c] = ws
+	})
+	var lossSum float64
+	for _, ws := range chunks {
+		lossSum += ws.lossSum
+		ws.users.mergeInto(m.users)
+		ws.items.mergeInto(m.items)
 	}
-	return loss
+	return lossSum / float64(n)
 }
 
 // UserRow exposes user u's embedding (read-only) for the federated baselines

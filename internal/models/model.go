@@ -48,6 +48,23 @@ type GraphRecommender interface {
 	SetGraph(g *graph.Bipartite)
 }
 
+// InplaceScorer is implemented by models whose batch scoring can reuse a
+// caller-provided buffer. ScoreItemsInto returns a slice of len(items) backed
+// by dst when dst has the capacity, avoiding a per-call allocation on the
+// evaluation and dispersal hot paths. All models in this package implement it.
+type InplaceScorer interface {
+	ScoreItemsInto(dst []float64, u int, items []int) []float64
+}
+
+// scoreBuf returns a zero-length slice with capacity for n scores, reusing
+// dst's storage when possible.
+func scoreBuf(dst []float64, n int) []float64 {
+	if cap(dst) < n {
+		return make([]float64, 0, n)
+	}
+	return dst[:0]
+}
+
 // Kind selects a model family.
 type Kind string
 
@@ -76,7 +93,14 @@ type Config struct {
 	LR                 float64 // Adam learning rate (paper: 1e-3)
 	Layers             int     // propagation layers for GNNs / MLP depth marker (paper: 3)
 	Lazy               bool    // lazy embedding tables (client-side models)
-	Seed               uint64
+
+	// TrainWorkers bounds TrainBatch's intra-batch parallelism: the batch is
+	// sharded into fixed-size gradient chunks computed on this many workers
+	// and merged in chunk order, so seeded training is bitwise-identical for
+	// every value. <= 1 (and any Lazy model) trains serially.
+	TrainWorkers int
+
+	Seed uint64
 }
 
 // DefaultConfig returns the paper's hyper-parameters for the given universe.

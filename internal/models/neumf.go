@@ -11,19 +11,20 @@ import (
 // §IV-D tower sizes (2d → 64 → 32 → 16 → 1) and ReLU activations. It is the
 // model the service provider assigns to every client.
 type NeuMF struct {
-	cfg    Config
-	users  embTable
-	items  embTable
-	tower  []*nn.Dense // hidden layers
-	out    *nn.Dense   // hᵀ + bias
-	opt    *nn.Adam
-	params []*nn.Param
+	cfg     Config
+	workers int
+	users   embTable
+	items   embTable
+	tower   []*nn.Dense // hidden layers
+	out     *nn.Dense   // hᵀ + bias
+	opt     *nn.Adam
+	params  []*nn.Param
 }
 
 // NewNeuMF builds the MLP recommender with the paper's layer sizes.
 func NewNeuMF(cfg Config, s *rng.Stream) *NeuMF {
 	hy := emb.DefaultAdam(cfg.LR)
-	m := &NeuMF{cfg: cfg, opt: nn.NewAdam(cfg.LR)}
+	m := &NeuMF{cfg: cfg, workers: resolveTrainWorkers(cfg), opt: nn.NewAdam(cfg.LR)}
 	if cfg.Lazy {
 		m.users = emb.NewLazyTable(s.Derive("u"), cfg.Dim, hy)
 		m.items = emb.NewLazyTable(s.Derive("v"), cfg.Dim, hy)
@@ -53,6 +54,12 @@ func (m *NeuMF) NumParams() int {
 		n += p.NumValues()
 	}
 	return n
+}
+
+// denseLayers returns the tower plus the output head, in forward order — the
+// layer order the chunk workspaces are laid out in.
+func (m *NeuMF) denseLayers() []*nn.Dense {
+	return append(append([]*nn.Dense(nil), m.tower...), m.out)
 }
 
 // forward runs the tower on a batch, returning every intermediate needed by
@@ -101,22 +108,75 @@ func (m *NeuMF) backward(batch []Sample, x *tensor.Matrix, zs, as []*tensor.Matr
 	}
 }
 
-// TrainBatch implements Recommender.
+// neumfChunk is one gradient shard's workspace: per-layer parameter
+// gradients (aligned with denseLayers) plus embedding-row gradients.
+type neumfChunk struct {
+	lossSum      float64
+	wGrads       []*tensor.Matrix
+	bGrads       []*tensor.Matrix
+	users, items *rowAccum
+}
+
+// TrainBatch implements Recommender. The batch is sharded into fixed chunks:
+// each chunk runs its own tower forward/backward into a private workspace
+// (the shared weights are read-only until the optimizer step), then the
+// workspaces merge in chunk order and a single Adam step applies.
 func (m *NeuMF) TrainBatch(batch []Sample) float64 {
 	if len(batch) == 0 {
 		return 0
 	}
-	x, zs, as, preds := m.forward(batch)
-	targets := make([]float64, len(batch))
-	for i, smp := range batch {
-		targets[i] = smp.Label
+	n := len(batch)
+	layers := m.denseLayers()
+	chunks := make([]neumfChunk, trainChunks(n))
+	forChunks(n, m.workers, func(c, lo, hi int) {
+		sub := batch[lo:hi]
+		x, zs, as, preds := m.forward(sub)
+		ws := neumfChunk{
+			users: newRowAccum(m.cfg.Dim),
+			items: newRowAccum(m.cfg.Dim),
+		}
+		for _, d := range layers {
+			ws.wGrads = append(ws.wGrads, tensor.New(d.In, d.Out))
+			ws.bGrads = append(ws.bGrads, tensor.New(1, d.Out))
+		}
+		dlogits := make([]float64, len(sub))
+		for i, smp := range sub {
+			ws.lossSum += nn.BCEOne(preds[i], smp.Label)
+			dlogits[i] = (preds[i] - smp.Label) / float64(n)
+		}
+		last := len(layers) - 1
+		dy := tensor.FromSlice(len(sub), 1, dlogits)
+		grad := m.out.BackwardInto(as[len(as)-1], dy, ws.wGrads[last], ws.bGrads[last])
+		for i := len(m.tower) - 1; i >= 0; i-- {
+			grad = nn.ReLUBackward(zs[i], grad)
+			input := x
+			if i > 0 {
+				input = as[i-1]
+			}
+			grad = m.tower[i].BackwardInto(input, grad, ws.wGrads[i], ws.bGrads[i])
+		}
+		for i, smp := range sub {
+			row := grad.Row(i)
+			ws.users.add(smp.User, row[:m.cfg.Dim])
+			ws.items.add(smp.Item, row[m.cfg.Dim:])
+		}
+		chunks[c] = ws
+	})
+
+	var lossSum float64
+	for _, ws := range chunks {
+		lossSum += ws.lossSum
+		for i, d := range layers {
+			d.W.Grad.AddInPlace(ws.wGrads[i])
+			d.B.Grad.AddInPlace(ws.bGrads[i])
+		}
+		ws.users.mergeInto(m.users)
+		ws.items.mergeInto(m.items)
 	}
-	loss := nn.BCE(preds, targets)
-	m.backward(batch, x, zs, as, nn.BCELogitGrad(preds, targets))
 	m.opt.Step(m.params)
 	m.users.Step()
 	m.items.Step()
-	return loss
+	return lossSum / float64(n)
 }
 
 // Score implements Recommender.
@@ -126,13 +186,19 @@ func (m *NeuMF) Score(u, v int) float64 {
 
 // ScoreItems implements Recommender.
 func (m *NeuMF) ScoreItems(u int, items []int) []float64 {
+	return m.ScoreItemsInto(nil, u, items)
+}
+
+// ScoreItemsInto implements InplaceScorer.
+func (m *NeuMF) ScoreItemsInto(dst []float64, u int, items []int) []float64 {
 	if len(items) == 0 {
-		return nil
+		return scoreBuf(dst, 0)
 	}
 	batch := make([]Sample, len(items))
 	for i, v := range items {
 		batch[i] = Sample{User: u, Item: v}
 	}
 	_, _, _, preds := m.forward(batch)
-	return preds
+	out := scoreBuf(dst, len(items))
+	return append(out, preds...)
 }

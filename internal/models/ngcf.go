@@ -18,11 +18,12 @@ const ngcfAlpha = 0.2
 // concatenates all layers: r̂ᵤᵥ = σ( Σ_l eᵤ^l · eᵥ^l ). Message dropout is
 // omitted (the paper trains small models for few epochs; see DESIGN.md).
 type NGCF struct {
-	cfg Config
-	e0  *nn.Param
-	w1  []*nn.Param // per layer, d×d
-	w2  []*nn.Param
-	opt *nn.Adam
+	cfg     Config
+	workers int
+	e0      *nn.Param
+	w1      []*nn.Param // per layer, d×d
+	w2      []*nn.Param
+	opt     *nn.Adam
 
 	adj, adjSelf *tensor.CSR
 
@@ -38,7 +39,13 @@ type NGCF struct {
 // NewNGCF builds the model over an initially empty graph (call SetGraph).
 func NewNGCF(cfg Config, s *rng.Stream) *NGCF {
 	n := cfg.NumUsers + cfg.NumItems
-	m := &NGCF{cfg: cfg, e0: nn.NewParam("ngcf.E0", n, cfg.Dim), opt: nn.NewAdam(cfg.LR), dirty: true}
+	m := &NGCF{
+		cfg:     cfg,
+		workers: resolveTrainWorkers(cfg),
+		e0:      nn.NewParam("ngcf.E0", n, cfg.Dim),
+		opt:     nn.NewAdam(cfg.LR),
+		dirty:   true,
+	}
 	nn.Normal(s.Derive("e0"), m.e0.W, 0.1)
 	for l := 0; l < cfg.Layers; l++ {
 		w1 := nn.NewParam("ngcf.W1", cfg.Dim, cfg.Dim)
@@ -72,12 +79,14 @@ func (m *NGCF) SetGraph(g *graph.Bipartite) {
 	if g.NumUsers != m.cfg.NumUsers || g.NumItems != m.cfg.NumItems {
 		panic("models: NGCF graph universe mismatch")
 	}
-	m.adj = g.NormalizedAdj()
-	m.adjSelf = g.NormalizedAdjSelf()
+	m.adj = g.NormalizedAdjPar(m.workers)
+	m.adjSelf = g.NormalizedAdjSelfPar(m.workers)
 	m.dirty = true
 }
 
-// propagate fills the layer caches if stale.
+// propagate fills the layer caches if stale. The SpMMs and dense products
+// shard over row ranges on the TrainWorkers pool, bitwise-identical for any
+// worker count.
 func (m *NGCF) propagate() {
 	if !m.dirty && m.outs != nil {
 		return
@@ -86,11 +95,11 @@ func (m *NGCF) propagate() {
 	m.outs = []*tensor.Matrix{e}
 	m.zs, m.ps, m.qs, m.hs = nil, nil, nil, nil
 	for l := 0; l < m.cfg.Layers; l++ {
-		p := m.adjSelf.MulDense(e)
-		q := m.adj.MulDense(e)
+		p := m.adjSelf.MulDensePar(e, m.workers)
+		q := m.adj.MulDensePar(e, m.workers)
 		h := tensor.Hadamard(q, e)
-		z := tensor.MatMul(p, m.w1[l].W)
-		z.AddInPlace(tensor.MatMul(h, m.w2[l].W))
+		z := tensor.MatMulPar(p, m.w1[l].W, m.workers)
+		z.AddInPlace(tensor.MatMulPar(h, m.w2[l].W, m.workers))
 		e = nn.LeakyReLU(z, ngcfAlpha)
 		m.ps = append(m.ps, p)
 		m.qs = append(m.qs, q)
@@ -130,10 +139,15 @@ func (m *NGCF) Score(u, v int) float64 {
 
 // ScoreItems implements Recommender.
 func (m *NGCF) ScoreItems(u int, items []int) []float64 {
+	return m.ScoreItemsInto(nil, u, items)
+}
+
+// ScoreItemsInto implements InplaceScorer.
+func (m *NGCF) ScoreItemsInto(dst []float64, u int, items []int) []float64 {
 	m.propagate()
-	out := make([]float64, len(items))
-	for i, v := range items {
-		out[i] = m.scoreNodes(u, m.itemNode(v))
+	out := scoreBuf(dst, len(items))
+	for _, v := range items {
+		out = append(out, m.scoreNodes(u, m.itemNode(v)))
 	}
 	return out
 }
@@ -152,52 +166,72 @@ func (m *NGCF) TrainBatch(batch []Sample) float64 {
 	return loss
 }
 
+// ngcfChunk is one gradient shard's workspace: the shard's loss sum plus its
+// sparse contribution to dL/dE_l for every layer.
+type ngcfChunk struct {
+	lossSum float64
+	dOuts   []*rowAccum
+}
+
 // accumulateGrad computes the batch loss and adds all parameter gradients
-// without stepping the optimizer.
+// without stepping the optimizer. The per-sample readout pass shards into
+// fixed chunks merged in chunk order; the layer backward shards its matrix
+// products over row ranges (and its ᵀ·-reductions over fixed row shards).
 func (m *NGCF) accumulateGrad(batch []Sample) float64 {
 	m.propagate()
-	preds := make([]float64, len(batch))
-	targets := make([]float64, len(batch))
-	for i, smp := range batch {
-		preds[i] = m.scoreNodes(smp.User, m.itemNode(smp.Item))
-		targets[i] = smp.Label
-	}
-	loss := nn.BCE(preds, targets)
-	grads := nn.BCELogitGrad(preds, targets)
+	n := len(batch)
+	scale := m.readoutScale()
+	chunks := make([]ngcfChunk, trainChunks(n))
+	forChunks(n, m.workers, func(c, lo, hi int) {
+		ws := ngcfChunk{dOuts: make([]*rowAccum, m.cfg.Layers+1)}
+		for l := range ws.dOuts {
+			ws.dOuts[l] = newRowAccum(m.cfg.Dim)
+		}
+		for _, smp := range batch[lo:hi] {
+			un, vn := smp.User, m.itemNode(smp.Item)
+			pred := m.scoreNodes(un, vn)
+			ws.lossSum += nn.BCEOne(pred, smp.Label)
+			g := (pred - smp.Label) / float64(n) * scale
+			for l, e := range m.outs {
+				ws.dOuts[l].axpy(un, g, e.Row(vn))
+				ws.dOuts[l].axpy(vn, g, e.Row(un))
+			}
+		}
+		chunks[c] = ws
+	})
 
-	// dL/dE_l for every layer from the concatenated dot-product readout.
-	n := m.cfg.NumUsers + m.cfg.NumItems
+	// dL/dE_l for every layer from the concatenated dot-product readout,
+	// merged in chunk order.
+	nNodes := m.cfg.NumUsers + m.cfg.NumItems
 	dOuts := make([]*tensor.Matrix, m.cfg.Layers+1)
 	for l := range dOuts {
-		dOuts[l] = tensor.New(n, m.cfg.Dim)
+		dOuts[l] = tensor.New(nNodes, m.cfg.Dim)
 	}
-	scale := m.readoutScale()
-	for i, smp := range batch {
-		g := grads[i] * scale
-		vn := m.itemNode(smp.Item)
-		for l, e := range m.outs {
-			tensor.Axpy(g, e.Row(vn), dOuts[l].Row(smp.User))
-			tensor.Axpy(g, e.Row(smp.User), dOuts[l].Row(vn))
+	var lossSum float64
+	for _, ws := range chunks {
+		lossSum += ws.lossSum
+		for l, acc := range ws.dOuts {
+			acc.mergeIntoRows(dOuts[l].Row)
 		}
 	}
 
 	// Back through the layers; dOuts[l-1] accumulates the propagated term.
 	for l := m.cfg.Layers - 1; l >= 0; l-- {
 		dZ := nn.LeakyReLUBackward(m.zs[l], dOuts[l+1], ngcfAlpha)
-		m.w1[l].Grad.AddInPlace(tensor.MatMulATB(m.ps[l], dZ))
-		m.w2[l].Grad.AddInPlace(tensor.MatMulATB(m.hs[l], dZ))
+		m.w1[l].Grad.AddInPlace(tensor.MatMulATBPar(m.ps[l], dZ, m.workers))
+		m.w2[l].Grad.AddInPlace(tensor.MatMulATBPar(m.hs[l], dZ, m.workers))
 
-		dP := tensor.MatMulABT(dZ, m.w1[l].W)
-		dH := tensor.MatMulABT(dZ, m.w2[l].W)
+		dP := tensor.MatMulABTPar(dZ, m.w1[l].W, m.workers)
+		dH := tensor.MatMulABTPar(dZ, m.w2[l].W, m.workers)
 
 		// E_{l-1} enters through three paths:
 		//   P  = (Â+I)E      -> (Â+I)ᵀ dP      (operator is symmetric)
 		//   H  = Q ⊙ E       -> dH ⊙ Q  directly
 		//   Q  = Â E         -> Âᵀ (dH ⊙ E)
-		dOuts[l].AddInPlace(m.adjSelf.MulDense(dP))
+		dOuts[l].AddInPlace(m.adjSelf.MulDensePar(dP, m.workers))
 		dOuts[l].AddInPlace(tensor.Hadamard(dH, m.qs[l]))
-		dOuts[l].AddInPlace(m.adj.MulDense(tensor.Hadamard(dH, m.outs[l])))
+		dOuts[l].AddInPlace(m.adj.MulDensePar(tensor.Hadamard(dH, m.outs[l]), m.workers))
 	}
 	m.e0.Grad.AddInPlace(dOuts[0])
-	return loss
+	return lossSum / float64(n)
 }

@@ -1,0 +1,105 @@
+package models
+
+import "ptffedrec/internal/par"
+
+// trainChunkSize is the fixed shard width of the gradient-workspace engine:
+// TrainBatch splits every batch into ceil(n/trainChunkSize) contiguous
+// chunks, computes each chunk's gradients into a private workspace, and
+// merges the workspaces in chunk order before the single optimizer step.
+//
+// It is a semantic constant, not a scheduling knob: the chunk boundaries fix
+// the float association of the merged gradients, so they must depend only on
+// the batch length — never on the worker count. That is what makes seeded
+// training bitwise-identical for TrainWorkers ∈ {1, 2, …}.
+const trainChunkSize = 256
+
+// trainChunks returns the number of gradient chunks for a batch of n samples.
+func trainChunks(n int) int { return (n + trainChunkSize - 1) / trainChunkSize }
+
+// trainChunkBounds returns chunk c's half-open sample range.
+func trainChunkBounds(c, n int) (lo, hi int) {
+	lo = c * trainChunkSize
+	hi = lo + trainChunkSize
+	if hi > n {
+		hi = n
+	}
+	return lo, hi
+}
+
+// resolveTrainWorkers maps Config.TrainWorkers to the worker count TrainBatch
+// fans out over. Zero or negative means serial — intra-batch sharding is
+// opt-in because federated clients already train on a worker pool, and lazy
+// embedding tables materialise rows on read, which is unsafe to do
+// concurrently.
+func resolveTrainWorkers(cfg Config) int {
+	w := cfg.TrainWorkers
+	if w <= 1 || cfg.Lazy {
+		return 1
+	}
+	return w
+}
+
+// forChunks fans fn out over the batch's gradient chunks.
+func forChunks(n, workers int, fn func(c, lo, hi int)) {
+	par.For(trainChunks(n), workers, func(c int) {
+		lo, hi := trainChunkBounds(c, n)
+		fn(c, lo, hi)
+	})
+}
+
+// rowAccum collects sparse per-row gradient vectors for one chunk. Rows are
+// replayed in first-touch order by merge — numerically immaterial (row sums
+// are independent) but kept deterministic so merges never depend on map
+// iteration order.
+type rowAccum struct {
+	dim   int
+	order []int
+	rows  map[int][]float64
+}
+
+func newRowAccum(dim int) *rowAccum {
+	return &rowAccum{dim: dim, rows: make(map[int][]float64)}
+}
+
+// add accumulates g into row i's pending vector.
+func (a *rowAccum) add(i int, g []float64) {
+	buf, ok := a.rows[i]
+	if !ok {
+		buf = make([]float64, a.dim)
+		a.rows[i] = buf
+		a.order = append(a.order, i)
+	}
+	for k, v := range g {
+		buf[k] += v
+	}
+}
+
+// axpy accumulates s*x into row i's pending vector.
+func (a *rowAccum) axpy(i int, s float64, x []float64) {
+	buf, ok := a.rows[i]
+	if !ok {
+		buf = make([]float64, a.dim)
+		a.rows[i] = buf
+		a.order = append(a.order, i)
+	}
+	for k, v := range x {
+		buf[k] += s * v
+	}
+}
+
+// mergeInto replays the accumulated rows into an embedding table.
+func (a *rowAccum) mergeInto(t embTable) {
+	for _, i := range a.order {
+		t.Accumulate(i, a.rows[i])
+	}
+}
+
+// mergeIntoRows adds the accumulated rows into a dense row-major view.
+func (a *rowAccum) mergeIntoRows(row func(i int) []float64) {
+	for _, i := range a.order {
+		dst := row(i)
+		for k, v := range a.rows[i] {
+			dst[k] += v
+		}
+	}
+}

@@ -43,12 +43,20 @@ func (d *Dense) Forward(x *tensor.Matrix) *tensor.Matrix {
 // Backward accumulates dW = xᵀ·dy and db = Σ dy into the layer's gradients
 // and returns dx = dy·Wᵀ. x must be the same batch passed to Forward.
 func (d *Dense) Backward(x, dy *tensor.Matrix) *tensor.Matrix {
+	return d.BackwardInto(x, dy, d.W.Grad, d.B.Grad)
+}
+
+// BackwardInto is Backward with caller-provided gradient accumulators, so a
+// batch shard can collect its parameter gradients into a private workspace
+// instead of the layer's shared Grad matrices. wGrad must be In×Out and
+// bGrad 1×Out.
+func (d *Dense) BackwardInto(x, dy, wGrad, bGrad *tensor.Matrix) *tensor.Matrix {
 	if dy.Cols != d.Out || x.Rows != dy.Rows {
 		panic(fmt.Sprintf("nn: Dense %s backward shapes x=%dx%d dy=%dx%d",
 			d.W.Name, x.Rows, x.Cols, dy.Rows, dy.Cols))
 	}
-	d.W.Grad.AddInPlace(tensor.MatMulATB(x, dy))
-	brow := d.B.Grad.Row(0)
+	wGrad.AddInPlace(tensor.MatMulATB(x, dy))
+	brow := bGrad.Row(0)
 	for i := 0; i < dy.Rows; i++ {
 		tensor.AddVec(dy.Row(i), brow)
 	}

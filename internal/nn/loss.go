@@ -25,6 +25,14 @@ func BCE(pred, target []float64) float64 {
 	return sum / float64(len(pred))
 }
 
+// BCEOne returns the unreduced binary cross-entropy of a single
+// (prediction, target) pair, with the same clamping as BCE. The gradient
+// workspace engine uses it to sum chunk losses before one final mean.
+func BCEOne(pred, target float64) float64 {
+	p := clamp01(pred)
+	return -(target*math.Log(p) + (1-target)*math.Log(1-p))
+}
+
 // BCELogitGrad returns dL/dlogit for the sigmoid+BCE composition with mean
 // reduction: (σ(logit) − target) / n. Passing the already-computed prediction
 // avoids recomputing the sigmoid.

@@ -23,6 +23,29 @@ func Workers(n int) int {
 	return n
 }
 
+// ForChunks splits [0, n) into contiguous chunks of the given size and runs
+// fn(lo, hi) for each chunk, distributing chunks over at most workers
+// goroutines. Chunk boundaries depend only on n and size — never on workers —
+// so per-chunk results a caller collects (and later reduces in chunk order)
+// are identical for every worker count.
+func ForChunks(n, size, workers int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if size <= 0 {
+		size = 1
+	}
+	nChunks := (n + size - 1) / size
+	For(nChunks, workers, func(c int) {
+		lo := c * size
+		hi := lo + size
+		if hi > n {
+			hi = n
+		}
+		fn(lo, hi)
+	})
+}
+
 // For runs fn(i) for every i in [0, n), distributing indices over at most
 // workers goroutines. workers <= 1 degenerates to a plain loop on the calling
 // goroutine. Indices are claimed through an atomic counter, so each runs

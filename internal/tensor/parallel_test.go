@@ -1,0 +1,155 @@
+package tensor
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// randomTriplets builds a triplet set with deliberate duplicates so the
+// stable summation order is exercised.
+func randomTriplets(r *rand.Rand, rows, cols, n int) []Triplet {
+	trips := make([]Triplet, n)
+	for i := range trips {
+		trips[i] = Triplet{Row: r.Intn(rows), Col: r.Intn(cols), Val: r.NormFloat64()}
+	}
+	return trips
+}
+
+func requireSameCSR(t *testing.T, label string, a, b *CSR) {
+	t.Helper()
+	if !reflect.DeepEqual(a.RowPtr, b.RowPtr) || !reflect.DeepEqual(a.ColIdx, b.ColIdx) {
+		t.Fatalf("%s: CSR structure differs", label)
+	}
+	for i := range a.Val {
+		if a.Val[i] != b.Val[i] {
+			t.Fatalf("%s: Val[%d] = %v vs %v", label, i, a.Val[i], b.Val[i])
+		}
+	}
+}
+
+// TestNewCSRParWorkerInvariance pins the construction contract: the CSR built
+// from the same triplets is bitwise-identical for every worker count, with a
+// triplet count spanning several scatter chunks.
+func TestNewCSRParWorkerInvariance(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	const rows, cols = 230, 190
+	trips := randomTriplets(r, rows, cols, 3*csrScatterChunk+511)
+	serial := NewCSR(rows, cols, trips)
+	for _, workers := range []int{2, 3, 8} {
+		requireSameCSR(t, "workers", serial, NewCSRPar(rows, cols, trips, workers))
+	}
+	// And the result must be the mathematically correct matrix.
+	dense := New(rows, cols)
+	for _, tr := range trips {
+		dense.Set(tr.Row, tr.Col, dense.At(tr.Row, tr.Col)+tr.Val)
+	}
+	got := serial.Dense()
+	for i := range dense.Data {
+		if diff := got.Data[i] - dense.Data[i]; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("CSR[%d] = %v, dense accumulation = %v", i, got.Data[i], dense.Data[i])
+		}
+	}
+}
+
+// TestNewCSRParStableDuplicates checks that duplicate (row, col) values sum
+// in input order for any worker count — the documented semantics.
+func TestNewCSRParStableDuplicates(t *testing.T) {
+	trips := []Triplet{
+		{0, 0, 1e20}, {0, 0, 1}, {0, 0, -1e20}, // order-sensitive sum
+		{1, 2, 0.5}, {1, 2, 0.25},
+	}
+	serial := NewCSR(3, 3, trips)
+	for _, workers := range []int{2, 4} {
+		requireSameCSR(t, "duplicates", serial, NewCSRPar(3, 3, trips, workers))
+	}
+	// Input-order association: (1e20 + 1) absorbs the 1, then cancels to 0.
+	if serial.At(0, 0) != 0 {
+		t.Fatalf("At(0,0) = %v, want input-order sum 0", serial.At(0, 0))
+	}
+}
+
+// TestNewCSRParCappedRanges drives the input past csrScatterChunk ×
+// csrMaxRanges so the adaptive range sizing kicks in, and checks the output
+// still matches the small-input partitioning.
+func TestNewCSRParCappedRanges(t *testing.T) {
+	r := rand.New(rand.NewSource(41))
+	const rows, cols = 60, 45
+	trips := randomTriplets(r, rows, cols, csrScatterChunk*csrMaxRanges+12345)
+	serial := NewCSR(rows, cols, trips)
+	for _, workers := range []int{2, 8} {
+		requireSameCSR(t, "capped ranges", serial, NewCSRPar(rows, cols, trips, workers))
+	}
+}
+
+func TestNewCSRParOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range triplet did not panic")
+		}
+	}()
+	NewCSRPar(2, 2, []Triplet{{0, 0, 1}, {5, 0, 1}}, 4)
+}
+
+// TestParKernelsMatchSerial pins the row-partitioned kernels' bitwise
+// equality with their serial counterparts.
+func TestParKernelsMatchSerial(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	const n, m, k = 300, 70, 9
+	sp := NewCSR(n, m, randomTriplets(r, n, m, 2500))
+	x := New(m, k)
+	for i := range x.Data {
+		x.Data[i] = r.NormFloat64()
+	}
+	a := New(n, k)
+	c := New(12, k)
+	for i := range a.Data {
+		a.Data[i] = r.NormFloat64()
+	}
+	for i := range c.Data {
+		c.Data[i] = r.NormFloat64()
+	}
+
+	for _, workers := range []int{2, 8} {
+		if !reflect.DeepEqual(sp.MulDense(x).Data, sp.MulDensePar(x, workers).Data) {
+			t.Fatalf("MulDensePar(%d) differs from serial", workers)
+		}
+		if !reflect.DeepEqual(MatMul(a, x.Transpose()).Data, MatMulPar(a, x.Transpose(), workers).Data) {
+			t.Fatalf("MatMulPar(%d) differs from serial", workers)
+		}
+		if !reflect.DeepEqual(MatMulABT(a, c).Data, MatMulABTPar(a, c, workers).Data) {
+			t.Fatalf("MatMulABTPar(%d) differs from serial", workers)
+		}
+	}
+}
+
+// TestMatMulATBParWorkerInvariance pins ATB's chunked-reduction contract: the
+// result is identical for every worker count (including 1) once the leading
+// dimension spans multiple shards.
+func TestMatMulATBParWorkerInvariance(t *testing.T) {
+	r := rand.New(rand.NewSource(29))
+	rows := 2*atbChunkRows + 77
+	a := New(rows, 6)
+	b := New(rows, 4)
+	for i := range a.Data {
+		a.Data[i] = r.NormFloat64()
+	}
+	for i := range b.Data {
+		b.Data[i] = r.NormFloat64()
+	}
+	ref := MatMulATBPar(a, b, 1)
+	for _, workers := range []int{2, 3, 8} {
+		got := MatMulATBPar(a, b, workers)
+		if !reflect.DeepEqual(ref.Data, got.Data) {
+			t.Fatalf("MatMulATBPar(%d) differs from workers=1", workers)
+		}
+	}
+	// Against the serial kernel the chunked reduction is equal up to float
+	// association only.
+	serial := MatMulATB(a, b)
+	for i := range serial.Data {
+		if diff := serial.Data[i] - ref.Data[i]; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("ATB[%d] = %v, serial %v", i, ref.Data[i], serial.Data[i])
+		}
+	}
+}
