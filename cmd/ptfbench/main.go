@@ -8,6 +8,11 @@
 //	ptfbench -exp scalability -json      # machine-readable timing sweep
 //	ptfbench -list                       # list experiment ids
 //	ptfbench -exp all                    # run everything
+//
+// The scalability sweep reports, per worker count, round and eval timings
+// plus a batched-vs-scalar comparison (the same evaluation forced through
+// per-item scoring, against the BlockScorer matrix-kernel engine), and an
+// eval+dispersal overlap measurement (sequential vs concurrent tail).
 package main
 
 import (

@@ -8,6 +8,7 @@
 package emb
 
 import (
+	"fmt"
 	"io"
 	"math"
 	"sort"
@@ -102,9 +103,59 @@ func (t *Table) Snapshot(w io.Writer) error {
 }
 
 // Restore reads weights previously written by Snapshot into the table. The
-// table's shape must match; optimizer state resets on the next update.
+// table's shape must match; optimizer state is untouched (pair with
+// RestoreMoments for exact checkpoint-resume).
 func (t *Table) Restore(r io.Reader) error {
 	return persist.ReadFloat64sInto(r, t.W.Data)
+}
+
+// SnapshotMoments writes the table's sparse-Adam state — per-row step
+// counters and both moment matrices — so a restored table resumes training
+// exactly where the snapshot left off. Call between optimizer steps (no
+// pending gradients).
+func (t *Table) SnapshotMoments(w io.Writer) error {
+	ids := make([]int, 0, len(t.step))
+	for id := range t.step {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	counts := make([]int, len(ids))
+	for i, id := range ids {
+		counts[i] = t.step[id]
+	}
+	if err := persist.WriteInts(w, ids); err != nil {
+		return err
+	}
+	if err := persist.WriteInts(w, counts); err != nil {
+		return err
+	}
+	if err := persist.WriteFloat64s(w, t.m.Data); err != nil {
+		return err
+	}
+	return persist.WriteFloat64s(w, t.v.Data)
+}
+
+// RestoreMoments reads optimizer state previously written by SnapshotMoments.
+func (t *Table) RestoreMoments(r io.Reader) error {
+	ids, err := persist.ReadInts(r)
+	if err != nil {
+		return err
+	}
+	counts, err := persist.ReadInts(r)
+	if err != nil {
+		return err
+	}
+	if len(ids) != len(counts) {
+		return fmt.Errorf("emb: moment snapshot has %d ids, %d counts", len(ids), len(counts))
+	}
+	t.step = make(map[int]int, len(ids))
+	for i, id := range ids {
+		t.step[id] = counts[i]
+	}
+	if err := persist.ReadFloat64sInto(r, t.m.Data); err != nil {
+		return err
+	}
+	return persist.ReadFloat64sInto(r, t.v.Data)
 }
 
 // PendingGrad returns a copy of row i's uncommitted gradient, or nil if the
@@ -203,7 +254,8 @@ func (t *LazyTable) Snapshot(w io.Writer) error {
 }
 
 // Restore reads rows previously written by Snapshot, materialising them as
-// needed. Optimizer state resets on the next update.
+// needed. Optimizer state is untouched (pair with RestoreMoments for exact
+// checkpoint-resume).
 func (t *LazyTable) Restore(r io.Reader) error {
 	ids, err := persist.ReadInts(r)
 	if err != nil {
@@ -212,6 +264,63 @@ func (t *LazyTable) Restore(r io.Reader) error {
 	for _, id := range ids {
 		row := t.row(id)
 		if err := persist.ReadFloat64sInto(r, row.w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SnapshotMoments writes every materialised row's sparse-Adam state (step
+// counter and both moment vectors) in the same sorted-id order Snapshot uses.
+// Call between optimizer steps (no pending gradients).
+func (t *LazyTable) SnapshotMoments(w io.Writer) error {
+	ids := make([]int, 0, len(t.rows))
+	for id := range t.rows {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	steps := make([]int, len(ids))
+	for i, id := range ids {
+		steps[i] = t.rows[id].step
+	}
+	if err := persist.WriteInts(w, ids); err != nil {
+		return err
+	}
+	if err := persist.WriteInts(w, steps); err != nil {
+		return err
+	}
+	for _, id := range ids {
+		if err := persist.WriteFloat64s(w, t.rows[id].m); err != nil {
+			return err
+		}
+		if err := persist.WriteFloat64s(w, t.rows[id].v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RestoreMoments reads optimizer state previously written by SnapshotMoments,
+// materialising rows as needed.
+func (t *LazyTable) RestoreMoments(r io.Reader) error {
+	ids, err := persist.ReadInts(r)
+	if err != nil {
+		return err
+	}
+	steps, err := persist.ReadInts(r)
+	if err != nil {
+		return err
+	}
+	if len(ids) != len(steps) {
+		return fmt.Errorf("emb: moment snapshot has %d ids, %d steps", len(ids), len(steps))
+	}
+	for i, id := range ids {
+		row := t.row(id)
+		row.step = steps[i]
+		if err := persist.ReadFloat64sInto(r, row.m); err != nil {
+			return err
+		}
+		if err := persist.ReadFloat64sInto(r, row.v); err != nil {
 			return err
 		}
 	}

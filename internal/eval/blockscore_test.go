@@ -1,0 +1,55 @@
+package eval
+
+import (
+	"testing"
+
+	"ptffedrec/internal/data"
+	"ptffedrec/internal/models"
+	"ptffedrec/internal/rng"
+)
+
+// scalarOnly hides a model's BlockScorer so Ranking is forced through the
+// per-item scoring path, while keeping the warm and buffer-reuse extensions.
+type scalarOnly struct {
+	m models.Recommender
+}
+
+func (s scalarOnly) ScoreItems(u int, items []int) []float64 {
+	return s.m.ScoreItems(u, items)
+}
+
+func (s scalarOnly) ScoreItemsInto(dst []float64, u int, items []int) []float64 {
+	return s.m.(models.InplaceScorer).ScoreItemsInto(dst, u, items)
+}
+
+func (s scalarOnly) WarmScoring() {
+	if w, ok := s.m.(Warmer); ok {
+		w.WarmScoring()
+	}
+}
+
+// TestRankingBatchedMatchesScalar pins the engine-level guarantee: Results
+// are bitwise-identical whether Ranking scores through ScoreBlockInto or the
+// per-item path, for every model kind and worker count.
+func TestRankingBatchedMatchesScalar(t *testing.T) {
+	d := data.Generate(data.Tiny, 11)
+	sp := d.Split(rng.New(2), 0.2)
+	for _, kind := range []models.Kind{models.KindMF, models.KindNeuMF, models.KindLightGCN, models.KindNGCF} {
+		m := trainedModel(t, kind, sp)
+		if _, ok := m.(models.BlockScorer); !ok {
+			t.Fatalf("%s does not implement BlockScorer", kind)
+		}
+		ref := RankingWorkers(scalarOnly{m}, sp, 20, 1)
+		if ref.Users == 0 {
+			t.Fatalf("%s: no users evaluated", kind)
+		}
+		for _, workers := range []int{1, 2, 8} {
+			if got := RankingWorkers(m, sp, 20, workers); got != ref {
+				t.Fatalf("%s: batched workers=%d %+v != scalar %+v", kind, workers, got, ref)
+			}
+			if got := RankingWorkers(scalarOnly{m}, sp, 20, workers); got != ref {
+				t.Fatalf("%s: scalar workers=%d %+v != scalar workers=1 %+v", kind, workers, got, ref)
+			}
+		}
+	}
+}

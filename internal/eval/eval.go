@@ -6,7 +6,10 @@
 // traffic is kilobytes it dominates server-side wall-clock, so Ranking fans
 // the user loop out over a worker pool. Per-user metric values are written to
 // index-addressed slots and reduced sequentially in user order, so the result
-// is bitwise-identical for every worker count.
+// is bitwise-identical for every worker count. Within a user, scorers that
+// implement BlockScorer are driven through the batched scoring engine: the
+// whole candidate list is scored with matrix kernels, again bitwise-identical
+// to per-item scoring, so Results never depend on the path taken.
 package eval
 
 import (
@@ -39,9 +42,31 @@ type ScorerInto interface {
 	ScoreItemsInto(dst []float64, u int, items []int) []float64
 }
 
-// scoreItems scores through the buffer-reusing path when available. buf is
+// BlockScorer is the batched scoring engine's contract (models.BlockScorer
+// satisfies it): ScoreBlockInto fills dst — length len(items) — with user u's
+// scores for the whole candidate block through matrix kernels, with results
+// bitwise-identical to the per-item ScoreItems path. Ranking prefers this
+// path: one user's entire candidate list becomes a single row-gather GEMV (or
+// chunked MLP forward) instead of |candidates| scalar dots.
+type BlockScorer interface {
+	ScoreBlockInto(dst []float64, u int, items []int)
+}
+
+// scoreItems scores through the strongest path the scorer supports — batched
+// block scoring, then buffer-reusing per-item, then plain ScoreItems. buf is
 // owned by the calling goroutine and carried across users.
 func scoreItems(s Scorer, buf *[]float64, u int, items []int) []float64 {
+	if bs, ok := s.(BlockScorer); ok {
+		out := *buf
+		if cap(out) < len(items) {
+			out = make([]float64, len(items))
+		} else {
+			out = out[:len(items)]
+		}
+		bs.ScoreBlockInto(out, u, items)
+		*buf = out
+		return out
+	}
 	if si, ok := s.(ScorerInto); ok {
 		out := si.ScoreItemsInto(*buf, u, items)
 		*buf = out

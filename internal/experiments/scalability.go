@@ -21,10 +21,17 @@ type ScalabilityRow struct {
 	RoundSecs    float64 `json:"round_secs"`     // mean wall-clock per global round
 	RoundsPerSec float64 `json:"rounds_per_sec"` // 1/RoundSecs
 	RoundSpeedup float64 `json:"round_speedup"`  // vs workers=1
-	EvalSecs     float64 `json:"eval_secs"`      // one full eval.Ranking pass
+	EvalSecs     float64 `json:"eval_secs"`      // one full eval.Ranking pass (batched engine)
 	EvalSpeedup  float64 `json:"eval_speedup"`   // vs workers=1
 	Recall       float64 `json:"recall"`         // must match across rows
 	NDCG         float64 `json:"ndcg"`           // must match across rows
+
+	// Batched-vs-scalar comparison at this worker count: the same evaluation
+	// forced through the per-item scoring path (the pre-BlockScorer hot
+	// loop), and the speedup the matrix-kernel engine buys over it. The two
+	// runs must produce bitwise-identical metrics.
+	EvalScalarSecs     float64 `json:"eval_scalar_secs"`
+	BatchedEvalSpeedup float64 `json:"batched_eval_speedup"`
 
 	// Per-phase mean seconds per round.
 	ClientSecs      float64 `json:"client_secs"`
@@ -49,7 +56,14 @@ type ScalabilityResult struct {
 	Rounds        int              `json:"rounds"`
 	GOMAXPROCS    int              `json:"gomaxprocs"`
 	Rows          []ScalabilityRow `json:"rows"`
-	Deterministic bool             `json:"deterministic"` // identical history+metrics across worker counts
+	Deterministic bool             `json:"deterministic"` // identical history+metrics across worker counts and scoring paths
+
+	// Overlap compares the round's dispersal+eval tail executed sequentially
+	// (RunRound then EvaluateServer) against the concurrent RunRoundEval
+	// path, at the sweep's max worker count, summed over the run's rounds.
+	OverlapSequentialSecs float64 `json:"overlap_sequential_secs"`
+	OverlapConcurrentSecs float64 `json:"overlap_concurrent_secs"`
+	OverlapSpeedup        float64 `json:"overlap_speedup"`
 }
 
 // scalabilityWorkerCounts returns the worker counts to sweep: doubling steps
@@ -159,11 +173,21 @@ func RunScalability(o Options) (*ScalabilityResult, error) {
 		ev := tr.EvaluateServer()
 		evalSecs := time.Since(start).Seconds()
 
+		// The same evaluation through the per-item scoring path: the gap to
+		// evalSecs is what the batched BlockScorer engine buys.
+		start = time.Now()
+		evScalar := eval.RankingWorkers(scalarScorer{tr.Server().Model()}, sp, wcfg.EvalK, workers)
+		evalScalarSecs := time.Since(start).Seconds()
+		if evScalar != ev {
+			res.Deterministic = false
+		}
+
 		perRound := 1 / float64(cfg.Rounds)
 		row := ScalabilityRow{
 			Workers:         workers,
 			RoundSecs:       trainSecs * perRound,
 			EvalSecs:        evalSecs,
+			EvalScalarSecs:  evalScalarSecs,
 			Recall:          ev.Recall,
 			NDCG:            ev.NDCG,
 			ClientSecs:      phases.ClientTrain * perRound,
@@ -174,6 +198,9 @@ func RunScalability(o Options) (*ScalabilityResult, error) {
 		}
 		if row.RoundSecs > 0 {
 			row.RoundsPerSec = 1 / row.RoundSecs
+		}
+		if row.EvalSecs > 0 {
+			row.BatchedEvalSpeedup = row.EvalScalarSecs / row.EvalSecs
 		}
 		if len(res.Rows) == 0 {
 			refRounds, refEval = rounds, ev
@@ -199,7 +226,69 @@ func RunScalability(o Options) (*ScalabilityResult, error) {
 		}
 		res.Rows = append(res.Rows, row)
 	}
+
+	// Eval+dispersal overlap: run the same training twice at the sweep's max
+	// worker count — once dispersing then evaluating sequentially, once with
+	// RunRoundEval overlapping the two — and compare the tails. The traces
+	// must stay identical; only wall-clock may differ.
+	{
+		counts := scalabilityWorkerCounts()
+		ocfg := cfg
+		ocfg.Workers = counts[len(counts)-1]
+		ocfg.EvalWorkers = ocfg.Workers
+		ocfg.TrainWorkers = ocfg.Workers
+		seqTr, err := fed.NewTrainer(sp, ocfg)
+		if err != nil {
+			return nil, fmt.Errorf("scalability: %w", err)
+		}
+		conTr, err := fed.NewTrainer(sp, ocfg)
+		if err != nil {
+			return nil, fmt.Errorf("scalability: %w", err)
+		}
+		var seqEvalSecs float64
+		for round := 0; round < ocfg.Rounds; round++ {
+			seqStats := seqTr.RunRound(round)
+			start := time.Now()
+			seqEval := seqTr.EvaluateServer()
+			seqEvalSecs += time.Since(start).Seconds()
+			conStats, conEval := conTr.RunRoundEval(round)
+			if seqEval != conEval {
+				res.Deterministic = false
+			}
+			seqStats.Recall, seqStats.NDCG, seqStats.Evaluated = seqEval.Recall, seqEval.NDCG, true
+			if seqStats != conStats {
+				res.Deterministic = false
+			}
+		}
+		res.OverlapSequentialSecs = seqTr.PhaseSeconds().Disperse + seqEvalSecs
+		res.OverlapConcurrentSecs = conTr.PhaseSeconds().DisperseEvalWall
+		if res.OverlapConcurrentSecs > 0 {
+			res.OverlapSpeedup = res.OverlapSequentialSecs / res.OverlapConcurrentSecs
+		}
+	}
 	return res, nil
+}
+
+// scalarScorer hides a model's BlockScorer so evaluation is forced through
+// the per-item scoring path, keeping the warm-up and buffer-reuse extensions
+// — the baseline the batched-vs-scalar comparison rows measure against.
+type scalarScorer struct {
+	m models.Recommender
+}
+
+func (s scalarScorer) ScoreItems(u int, items []int) []float64 { return s.m.ScoreItems(u, items) }
+
+func (s scalarScorer) ScoreItemsInto(dst []float64, u int, items []int) []float64 {
+	if is, ok := s.m.(models.InplaceScorer); ok {
+		return is.ScoreItemsInto(dst, u, items)
+	}
+	return s.m.ScoreItems(u, items)
+}
+
+func (s scalarScorer) WarmScoring() {
+	if w, ok := s.m.(eval.Warmer); ok {
+		w.WarmScoring()
+	}
 }
 
 // roundsEqual compares two training traces field by field. Bitwise float
@@ -221,11 +310,12 @@ func roundsEqual(a, b []fed.RoundStats) bool {
 func (r *ScalabilityResult) Print(w io.Writer) {
 	fmt.Fprintf(w, "Scalability: %s (%d users × %d items), %d rounds, GOMAXPROCS=%d\n",
 		r.Profile, r.Users, r.Items, r.Rounds, r.GOMAXPROCS)
-	fmt.Fprintf(w, "  %-8s %12s %12s %10s %10s %10s\n",
-		"workers", "round-secs", "rounds/sec", "round-spdup", "eval-secs", "eval-spdup")
+	fmt.Fprintf(w, "  %-8s %12s %12s %10s %10s %10s %12s %12s\n",
+		"workers", "round-secs", "rounds/sec", "round-spdup", "eval-secs", "eval-spdup", "eval-scalar", "batch-spdup")
 	for _, row := range r.Rows {
-		fmt.Fprintf(w, "  %-8d %12.3f %12.3f %10.2fx %10.3f %10.2fx\n",
-			row.Workers, row.RoundSecs, row.RoundsPerSec, row.RoundSpeedup, row.EvalSecs, row.EvalSpeedup)
+		fmt.Fprintf(w, "  %-8d %12.3f %12.3f %10.2fx %10.3f %10.2fx %12.3f %11.2fx\n",
+			row.Workers, row.RoundSecs, row.RoundsPerSec, row.RoundSpeedup, row.EvalSecs, row.EvalSpeedup,
+			row.EvalScalarSecs, row.BatchedEvalSpeedup)
 	}
 	fmt.Fprintln(w, "  per-phase (secs/round):")
 	fmt.Fprintf(w, "  %-8s %10s %10s %10s %12s %10s %12s %12s\n",
@@ -235,6 +325,8 @@ func (r *ScalabilityResult) Print(w io.Writer) {
 			row.Workers, row.ClientSecs, row.AbsorbSecs, row.GraphSecs,
 			row.ServerTrainSecs, row.DisperseSecs, row.ServerTrainSpeedup, row.GraphSpeedup)
 	}
-	fmt.Fprintf(w, "  metrics identical across worker counts: %v (recall@20=%.4f ndcg@20=%.4f)\n",
+	fmt.Fprintf(w, "  eval+dispersal tail: sequential %.3fs, overlapped %.3fs (%.2fx)\n",
+		r.OverlapSequentialSecs, r.OverlapConcurrentSecs, r.OverlapSpeedup)
+	fmt.Fprintf(w, "  metrics identical across worker counts and scoring paths: %v (recall@20=%.4f ndcg@20=%.4f)\n",
 		r.Deterministic, r.Rows[0].Recall, r.Rows[0].NDCG)
 }

@@ -37,11 +37,19 @@ func TestRunScalability(t *testing.T) {
 		if row.ServerTrainSpeedup <= 0 || row.GraphSpeedup <= 0 {
 			t.Fatalf("row %+v missing per-phase speedups", row)
 		}
+		// The batched-vs-scalar comparison must be populated (its speedup is
+		// timing-dependent, but both timings must exist).
+		if row.EvalScalarSecs <= 0 || row.BatchedEvalSpeedup <= 0 {
+			t.Fatalf("row %+v missing batched-vs-scalar eval comparison", row)
+		}
+	}
+	if res.OverlapSequentialSecs <= 0 || res.OverlapConcurrentSecs <= 0 || res.OverlapSpeedup <= 0 {
+		t.Fatalf("missing eval+dispersal overlap measurement: %+v", res)
 	}
 
 	var buf bytes.Buffer
 	res.Print(&buf)
-	if !strings.Contains(buf.String(), "metrics identical across worker counts: true") {
+	if !strings.Contains(buf.String(), "metrics identical across worker counts and scoring paths: true") {
 		t.Fatalf("unexpected report:\n%s", buf.String())
 	}
 

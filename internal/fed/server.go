@@ -63,9 +63,11 @@ func newServer(numUsers, numItems int, cfg *Config, parent *rng.Stream) (*Server
 // Model returns the server's recommender (the paper's Ms).
 func (sv *Server) Model() models.Recommender { return sv.model }
 
-// Snapshot persists the hidden model's parameters — the provider's actual
-// asset. The snapshot never travels through the protocol; it exists so the
-// provider can checkpoint and serve the model out-of-band.
+// Snapshot persists the hidden model's parameters and optimizer state — the
+// provider's actual asset. The snapshot never travels through the protocol;
+// it exists so the provider can checkpoint and serve the model out-of-band.
+// Because the Adam moments travel with the weights, a restored server resumes
+// a long run bit-for-bit where the checkpoint left off.
 func (sv *Server) Snapshot(w io.Writer) error {
 	return sv.model.(models.Snapshotter).Snapshot(w)
 }
@@ -139,50 +141,70 @@ func (sv *Server) absorb(uploads [][]comm.Prediction, workers int) {
 // fraction (robust to per-client calibration drift). Only graph server
 // models pay this cost; SetGraph itself shards the adjacency/CSR build over
 // the model's TrainWorkers.
-func (sv *Server) rebuildGraph() {
+//
+// Per-user edge selection is independent, so it fans out over the worker
+// pool into per-user slots; the slots are then replayed in sorted-user order,
+// so edge insertion order — which decides the order degree weights accumulate
+// in, and therefore the propagated floats — matches the serial construction
+// exactly for any worker count.
+func (sv *Server) rebuildGraph(workers int) {
 	gm, ok := sv.model.(models.GraphRecommender)
 	if !ok {
 		return
 	}
-	g := graph.NewBipartite(sv.numUsers, sv.numItems)
-	// Iterate users in sorted order: edge insertion order decides the order
-	// degree weights accumulate in, and map iteration order would make that
-	// (and therefore the propagated floats) vary run to run.
+	// Sorted users: map iteration order must never decide the merge order.
 	userIDs := make([]int, 0, len(sv.latestUpload))
 	for u := range sv.latestUpload {
 		userIDs = append(userIDs, u)
 	}
 	sort.Ints(userIDs)
-	for _, u := range userIDs {
-		preds := sv.latestUpload[u]
-		if sv.cfg.GraphTopFrac > 0 {
-			n := int(sv.cfg.GraphTopFrac*float64(len(preds)) + 0.5)
-			if n < 1 {
-				n = 1
-			}
-			order := make([]int, len(preds))
-			for i := range order {
-				order[i] = i
-			}
-			sort.SliceStable(order, func(a, b int) bool {
-				return preds[order[a]].Score > preds[order[b]].Score
-			})
-			for _, idx := range order[:n] {
-				w := preds[idx].Score
-				if w < 0.05 {
-					w = 0.05
-				}
-				g.AddEdge(u, preds[idx].Item, w)
-			}
-			continue
-		}
-		for _, p := range preds {
-			if p.Score >= sv.cfg.GraphThreshold {
-				g.AddEdge(u, p.Item, p.Score)
-			}
+	selected := make([][]graph.Edge, len(userIDs))
+	par.For(len(userIDs), par.Workers(workers), func(i int) {
+		selected[i] = sv.selectEdges(userIDs[i])
+	})
+	g := graph.NewBipartite(sv.numUsers, sv.numItems)
+	for _, edges := range selected {
+		for _, e := range edges {
+			g.AddEdge(e.User, e.Item, e.Weight)
 		}
 	}
 	gm.SetGraph(g)
+}
+
+// selectEdges applies the configured soft-positive edge rule to one user's
+// latest upload. It only reads server state, so calls for distinct users are
+// safe to run concurrently.
+func (sv *Server) selectEdges(u int) []graph.Edge {
+	preds := sv.latestUpload[u]
+	var edges []graph.Edge
+	if sv.cfg.GraphTopFrac > 0 {
+		n := int(sv.cfg.GraphTopFrac*float64(len(preds)) + 0.5)
+		if n < 1 {
+			n = 1
+		}
+		order := make([]int, len(preds))
+		for i := range order {
+			order[i] = i
+		}
+		sort.SliceStable(order, func(a, b int) bool {
+			return preds[order[a]].Score > preds[order[b]].Score
+		})
+		edges = make([]graph.Edge, 0, n)
+		for _, idx := range order[:n] {
+			w := preds[idx].Score
+			if w < 0.05 {
+				w = 0.05
+			}
+			edges = append(edges, graph.Edge{User: u, Item: preds[idx].Item, Weight: w})
+		}
+		return edges
+	}
+	for _, p := range preds {
+		if p.Score >= sv.cfg.GraphThreshold {
+			edges = append(edges, graph.Edge{User: u, Item: p.Item, Weight: p.Score})
+		}
+	}
+	return edges
 }
 
 // train runs the server-side optimisation of Eq. 5 on the round's uploads.
@@ -378,9 +400,19 @@ func (sv *Server) disperse(c *Client, ds *rng.Stream, plan *dispersalPlan, scrat
 	return preds
 }
 
-// scoreItems scores one user against items, reusing dst when the model
-// supports in-place scoring.
+// scoreItems scores one user against items through the strongest path the
+// model supports: the batched block-scoring engine (bitwise-identical to the
+// per-item path), then buffer-reusing per-item scoring, then ScoreItems.
 func (sv *Server) scoreItems(dst []float64, user int, items []int) []float64 {
+	if bs, ok := sv.model.(models.BlockScorer); ok {
+		if cap(dst) < len(items) {
+			dst = make([]float64, len(items))
+		} else {
+			dst = dst[:len(items)]
+		}
+		bs.ScoreBlockInto(dst, user, items)
+		return dst
+	}
 	if is, ok := sv.model.(models.InplaceScorer); ok {
 		return is.ScoreItemsInto(dst, user, items)
 	}

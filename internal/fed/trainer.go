@@ -44,9 +44,22 @@ type PhaseSeconds struct {
 	GraphBuild  float64 // adjacency/CSR rebuild (graph server models only)
 	ServerTrain float64 // server-side SGD (Eq. 5)
 	Disperse    float64 // per-client D̃ᵢ construction + encoding
+
+	// Eval is the wall-clock of server evaluations issued inside
+	// RunRoundEval. Both eval and dispersal only read the warmed, frozen
+	// model, so RunRoundEval runs them concurrently: Eval overlaps Disperse
+	// rather than extending the round.
+	Eval float64
+
+	// DisperseEvalWall is the wall-clock of the combined dispersal+eval tail
+	// of overlapped rounds — at most Disperse+Eval, approaching
+	// max(Disperse, Eval) when the overlap pays. Rounds without an overlapped
+	// eval do not contribute.
+	DisperseEvalWall float64
 }
 
-// Total sums the phases.
+// Total sums the sequential round phases (Eval overlaps Disperse, so it is
+// excluded; DisperseEvalWall is a combined measurement, not a phase).
 func (p PhaseSeconds) Total() float64 {
 	return p.ClientTrain + p.Absorb + p.GraphBuild + p.ServerTrain + p.Disperse
 }
@@ -120,6 +133,24 @@ type clientResult struct {
 
 // RunRound executes Algorithm 1's loop body once.
 func (t *Trainer) RunRound(round int) RoundStats {
+	stats, _ := t.runRound(round, false)
+	return stats
+}
+
+// RunRoundEval is RunRound with the round's server evaluation overlapped with
+// the dispersal phase: both only read the warmed, frozen server model, so
+// they run concurrently after a shared warm step. The returned RoundStats has
+// Recall/NDCG/Evaluated filled in. The trace and the evaluation result are
+// bitwise-identical to RunRound followed by EvaluateServer.
+func (t *Trainer) RunRoundEval(round int) (RoundStats, eval.Result) {
+	stats, res := t.runRound(round, true)
+	stats.Recall, stats.NDCG, stats.Evaluated = res.Recall, res.NDCG, true
+	return stats, res
+}
+
+// runRound executes one round, optionally overlapping the server evaluation
+// with dispersal.
+func (t *Trainer) runRound(round int, withEval bool) (RoundStats, eval.Result) {
 	// 1. Sample Uᵗ.
 	sel := t.root.DeriveN("select", round)
 	n := int(t.cfg.ClientFraction * float64(len(t.clients)))
@@ -204,7 +235,7 @@ func (t *Trainer) RunRound(round int) RoundStats {
 	t.phases.Absorb += time.Since(phaseStart).Seconds()
 
 	phaseStart = time.Now()
-	t.server.rebuildGraph()
+	t.server.rebuildGraph(workers)
 	t.phases.GraphBuild += time.Since(phaseStart).Seconds()
 
 	phaseStart = time.Now()
@@ -216,9 +247,28 @@ func (t *Trainer) RunRound(round int) RoundStats {
 	// draws from a stream derived per (round, client), and dispersal only
 	// reads server state (plus per-worker scratch), so results match the
 	// serial loop exactly.
+	//
+	// When an evaluation is due it runs concurrently with dispersal: after
+	// the shared warm step both are pure reads of the frozen server model
+	// (dispersal additionally writes per-client D̃ᵢ, which eval never
+	// touches), so the overlap changes wall-clock only — never results.
 	phaseStart = time.Now()
-	if w, ok := t.server.model.(eval.Warmer); ok && workers > 1 && len(results) > 0 {
+	// Warm before an overlapped eval unconditionally; otherwise only a
+	// parallel dispersal with work to do needs the shared caches hot.
+	if w, ok := t.server.model.(eval.Warmer); ok && (withEval || (workers > 1 && len(results) > 0)) {
 		w.WarmScoring()
+	}
+	var evalRes eval.Result
+	var evalSecs float64
+	var evalDone chan struct{}
+	if withEval {
+		evalDone = make(chan struct{})
+		evalStart := time.Now()
+		go func() {
+			defer close(evalDone)
+			evalRes = t.EvaluateServer()
+			evalSecs = time.Since(evalStart).Seconds()
+		}()
 	}
 	dispersed := make([]int, len(results))
 	if len(results) > 0 {
@@ -241,8 +291,13 @@ func (t *Trainer) RunRound(round int) RoundStats {
 		t.meter.AddDown(r.client.ID, dispersed[i])
 	}
 	t.phases.Disperse += time.Since(phaseStart).Seconds()
+	if withEval {
+		<-evalDone
+		t.phases.Eval += evalSecs
+		t.phases.DisperseEvalWall += time.Since(phaseStart).Seconds()
+	}
 	t.meter.EndRound()
-	return stats
+	return stats, evalRes
 }
 
 // encodeForWire runs predictions through the configured wire codec,
@@ -263,13 +318,17 @@ func (t *Trainer) encodeForWire(preds []comm.Prediction) ([]comm.Prediction, int
 }
 
 // Run executes the configured number of rounds and a final evaluation.
+// Periodic evaluations (Config.EvalEvery) overlap each round's dispersal
+// phase via RunRoundEval; the history is identical to evaluating after the
+// round.
 func (t *Trainer) Run() (*History, error) {
 	h := &History{}
 	for round := 0; round < t.cfg.Rounds; round++ {
-		rs := t.RunRound(round)
+		var rs RoundStats
 		if t.cfg.EvalEvery > 0 && (round+1)%t.cfg.EvalEvery == 0 {
-			res := t.EvaluateServer()
-			rs.Recall, rs.NDCG, rs.Evaluated = res.Recall, res.NDCG, true
+			rs, _ = t.RunRoundEval(round)
+		} else {
+			rs = t.RunRound(round)
 		}
 		h.Rounds = append(h.Rounds, rs)
 		h.MeanAttackF1 += rs.AttackF1

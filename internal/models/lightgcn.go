@@ -105,6 +105,15 @@ func (m *LightGCN) ScoreItemsInto(dst []float64, u int, items []int) []float64 {
 	return out
 }
 
+// ScoreBlockInto implements BlockScorer: one fused row-gather GEMV against
+// the propagated embedding matrix scores the whole candidate list.
+func (m *LightGCN) ScoreBlockInto(dst []float64, u int, items []int) {
+	checkBlock(dst, items)
+	f := m.propagate()
+	tensor.GatherMulVecInto(dst, f, items, m.cfg.NumUsers, f.Row(u))
+	sigmoidVec(dst)
+}
+
 // TrainBatch implements Recommender.
 func (m *LightGCN) TrainBatch(batch []Sample) float64 {
 	if len(batch) == 0 {

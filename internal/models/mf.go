@@ -4,6 +4,7 @@ import (
 	"ptffedrec/internal/emb"
 	"ptffedrec/internal/nn"
 	"ptffedrec/internal/rng"
+	"ptffedrec/internal/tensor"
 )
 
 // MF is logistic matrix factorization: r̂ᵤᵥ = σ(pᵤ·qᵥ). It is the model
@@ -53,6 +54,23 @@ func (m *MF) ScoreItemsInto(dst []float64, u int, items []int) []float64 {
 		out = append(out, nn.Sigmoid(dot(p, m.items.Row(v))))
 	}
 	return out
+}
+
+// ScoreBlockInto implements BlockScorer: one fused row-gather GEMV against
+// the dense item-embedding matrix scores the whole candidate list. Lazy item
+// tables have no dense matrix to multiply against, so they keep the per-item
+// loop (which materialises rows and is therefore single-goroutine anyway).
+func (m *MF) ScoreBlockInto(dst []float64, u int, items []int) {
+	checkBlock(dst, items)
+	p := m.users.Row(u)
+	if t, ok := m.items.(*emb.Table); ok {
+		tensor.GatherMulVecInto(dst, t.W, items, 0, p)
+		sigmoidVec(dst)
+		return
+	}
+	for i, v := range items {
+		dst[i] = nn.Sigmoid(dot(p, m.items.Row(v)))
+	}
 }
 
 // TrainBatch implements Recommender.

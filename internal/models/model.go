@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"ptffedrec/internal/graph"
+	"ptffedrec/internal/nn"
 	"ptffedrec/internal/rng"
 )
 
@@ -56,6 +57,25 @@ type InplaceScorer interface {
 	ScoreItemsInto(dst []float64, u int, items []int) []float64
 }
 
+// BlockScorer is the batched scoring engine's contract, implemented by every
+// model in this package. ScoreBlockInto fills dst — which must have length
+// len(items) — with σ(logit) for user u against each candidate item, scoring
+// the whole block through matrix kernels: MF and the graph models run one
+// fused row-gather GEMV against the (propagated) item-embedding matrix, and
+// NeuMF batches its MLP forward over fixed-size candidate chunks through a
+// pooled workspace.
+//
+// The contract is strict: for any dst/items, ScoreBlockInto produces scores
+// bitwise-identical to the per-item ScoreItemsInto path, so evaluation
+// metrics, dispersal plans, and training histories do not depend on which
+// path a caller takes. Like ScoreItems, concurrent calls for distinct users
+// are safe once lazily built shared state is warm (eval.Warmer) and the
+// model's tables are dense; Lazy models materialise rows on read and must be
+// scored from one goroutine.
+type BlockScorer interface {
+	ScoreBlockInto(dst []float64, u int, items []int)
+}
+
 // scoreBuf returns a zero-length slice with capacity for n scores, reusing
 // dst's storage when possible.
 func scoreBuf(dst []float64, n int) []float64 {
@@ -63,6 +83,20 @@ func scoreBuf(dst []float64, n int) []float64 {
 		return make([]float64, 0, n)
 	}
 	return dst[:0]
+}
+
+// checkBlock validates a ScoreBlockInto destination.
+func checkBlock(dst []float64, items []int) {
+	if len(dst) != len(items) {
+		panic(fmt.Sprintf("models: ScoreBlockInto dst[%d] for %d items", len(dst), len(items)))
+	}
+}
+
+// sigmoidVec replaces each logit in dst with σ(logit).
+func sigmoidVec(dst []float64) {
+	for i, v := range dst {
+		dst[i] = nn.Sigmoid(v)
+	}
 }
 
 // Kind selects a model family.

@@ -1,6 +1,8 @@
 package models
 
 import (
+	"sync"
+
 	"ptffedrec/internal/emb"
 	"ptffedrec/internal/nn"
 	"ptffedrec/internal/rng"
@@ -19,6 +21,11 @@ type NeuMF struct {
 	out     *nn.Dense   // hᵀ + bias
 	opt     *nn.Adam
 	params  []*nn.Param
+
+	// scoreWS pools batched-scoring workspaces so concurrent ScoreBlockInto
+	// callers (eval workers, the dispersal pool) each borrow a private one
+	// instead of allocating per-chunk forward matrices.
+	scoreWS sync.Pool
 }
 
 // NewNeuMF builds the MLP recommender with the paper's layer sizes.
@@ -41,6 +48,7 @@ func NewNeuMF(cfg Config, s *rng.Stream) *NeuMF {
 		m.params = append(m.params, d.Params()...)
 	}
 	m.params = append(m.params, m.out.Params()...)
+	m.scoreWS.New = func() any { return m.newScoreWS() }
 	return m
 }
 
@@ -201,4 +209,68 @@ func (m *NeuMF) ScoreItemsInto(dst []float64, u int, items []int) []float64 {
 	_, _, _, preds := m.forward(batch)
 	out := scoreBuf(dst, len(items))
 	return append(out, preds...)
+}
+
+// scoreChunkSize is the candidate-chunk width of NeuMF's batched scoring: the
+// workspace holds one chunk's forward intermediates, so peak memory is
+// O(chunk·width) instead of O(|candidates|·width). Each output row of a dense
+// forward depends only on its own input row, so chunking never changes the
+// scores — the boundaries are a scheduling knob, not a semantic constant.
+const scoreChunkSize = 256
+
+// neumfScoreWS holds one candidate chunk's forward intermediates.
+type neumfScoreWS struct {
+	x      *tensor.Matrix   // scoreChunkSize × 2d inputs
+	zs, as []*tensor.Matrix // per tower layer pre-/post-activation
+	logits *tensor.Matrix   // scoreChunkSize × 1
+}
+
+// newScoreWS allocates a workspace shaped for the model's tower.
+func (m *NeuMF) newScoreWS() *neumfScoreWS {
+	ws := &neumfScoreWS{
+		x:      tensor.New(scoreChunkSize, 2*m.cfg.Dim),
+		logits: tensor.New(scoreChunkSize, 1),
+	}
+	for _, d := range m.tower {
+		ws.zs = append(ws.zs, tensor.New(scoreChunkSize, d.Out))
+		ws.as = append(ws.as, tensor.New(scoreChunkSize, d.Out))
+	}
+	return ws
+}
+
+// ScoreBlockInto implements BlockScorer: candidates run through the tower in
+// scoreChunkSize batches over a pooled workspace, replacing len(items)
+// single-row forwards (and their per-call allocations) with
+// ceil(len(items)/chunk) matrix products.
+func (m *NeuMF) ScoreBlockInto(dst []float64, u int, items []int) {
+	checkBlock(dst, items)
+	if len(items) == 0 {
+		return
+	}
+	ws := m.scoreWS.Get().(*neumfScoreWS)
+	defer m.scoreWS.Put(ws)
+	urow := m.users.Row(u)
+	d := m.cfg.Dim
+	for off := 0; off < len(items); off += scoreChunkSize {
+		end := off + scoreChunkSize
+		if end > len(items) {
+			end = len(items)
+		}
+		n := end - off
+		x := ws.x.FirstRows(n)
+		for i, v := range items[off:end] {
+			row := x.Row(i)
+			copy(row[:d], urow)
+			copy(row[d:], m.items.Row(v))
+		}
+		cur := x
+		for li, dl := range m.tower {
+			z := dl.ForwardInto(ws.zs[li].FirstRows(n), cur)
+			cur = nn.ReLUInto(ws.as[li].FirstRows(n), z)
+		}
+		logits := m.out.ForwardInto(ws.logits.FirstRows(n), cur)
+		for i := 0; i < n; i++ {
+			dst[off+i] = nn.Sigmoid(logits.At(i, 0))
+		}
+	}
 }

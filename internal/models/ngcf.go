@@ -152,6 +152,25 @@ func (m *NGCF) ScoreItemsInto(dst []float64, u int, items []int) []float64 {
 	return out
 }
 
+// ScoreBlockInto implements BlockScorer: one fused row-gather GEMV per layer
+// matrix, accumulated in layer order — the same left-to-right sum over layers
+// as scoreNodes — then the averaged-readout sigmoid.
+func (m *NGCF) ScoreBlockInto(dst []float64, u int, items []int) {
+	checkBlock(dst, items)
+	m.propagate()
+	for l, e := range m.outs {
+		if l == 0 {
+			tensor.GatherMulVecInto(dst, e, items, m.cfg.NumUsers, e.Row(u))
+			continue
+		}
+		tensor.GatherMulVecAddInto(dst, e, items, m.cfg.NumUsers, e.Row(u))
+	}
+	scale := m.readoutScale()
+	for i, s := range dst {
+		dst[i] = nn.Sigmoid(s * scale)
+	}
+}
+
 // TrainBatch implements Recommender.
 func (m *NGCF) TrainBatch(batch []Sample) float64 {
 	if len(batch) == 0 {

@@ -4,20 +4,30 @@ import (
 	"fmt"
 	"io"
 
+	"ptffedrec/internal/nn"
 	"ptffedrec/internal/persist"
 )
 
-// snapshotMagic versions the checkpoint format.
-const snapshotMagic = "PTFREC-MODEL-V1"
+// Snapshot format versions. V1 carried weights only; V2 appends the Adam
+// moment state (embedding-table sparse-Adam rows and dense-parameter
+// moments), so a restored model resumes training bit-for-bit where the
+// snapshot left off. Restore accepts both: a V1 snapshot loads weights and
+// leaves optimizer state untouched — the pre-V2 semantics.
+const (
+	snapshotMagicV1 = "PTFREC-MODEL-V1"
+	snapshotMagic   = "PTFREC-MODEL-V2"
+)
 
-// Snapshotter is implemented by models that can persist their parameters.
-// Snapshots carry weights only — optimizer state (Adam moments) restarts on
-// the next update, which matches how inference checkpoints are used.
+// Snapshotter is implemented by models that can persist their state.
+// Snapshots carry the parameters plus (since format V2) the optimizer's
+// moment estimates, so long federated runs can checkpoint-resume exactly.
+// Snapshot between optimizer steps — pending gradients are not persisted.
 type Snapshotter interface {
-	// Snapshot writes the model's parameters to w.
+	// Snapshot writes the model's parameters and optimizer state to w.
 	Snapshot(w io.Writer) error
-	// Restore loads parameters previously written by Snapshot into this
-	// model. The model must have been constructed with the same Config.
+	// Restore loads a snapshot previously written by Snapshot (any format
+	// version) into this model. The model must have been constructed with
+	// the same Config.
 	Restore(r io.Reader) error
 }
 
@@ -25,6 +35,8 @@ type Snapshotter interface {
 type embSnapshotter interface {
 	Snapshot(w io.Writer) error
 	Restore(r io.Reader) error
+	SnapshotMoments(w io.Writer) error
+	RestoreMoments(r io.Reader) error
 }
 
 func writeHeader(w io.Writer, kind Kind) error {
@@ -34,14 +46,27 @@ func writeHeader(w io.Writer, kind Kind) error {
 	return persist.WriteString(w, string(kind))
 }
 
-func readHeader(r io.Reader, kind Kind) error {
-	if err := persist.ExpectString(r, snapshotMagic); err != nil {
-		return fmt.Errorf("models: bad snapshot header: %w", err)
+// readHeader validates the magic and model kind, returning the snapshot's
+// format version (1 or 2).
+func readHeader(r io.Reader, kind Kind) (int, error) {
+	magic, err := persist.ReadString(r)
+	if err != nil {
+		return 0, fmt.Errorf("models: bad snapshot header: %w", err)
+	}
+	var version int
+	switch magic {
+	case snapshotMagicV1:
+		version = 1
+	case snapshotMagic:
+		version = 2
+	default:
+		return 0, fmt.Errorf("models: bad snapshot header: expected %q or %q, got %q",
+			snapshotMagicV1, snapshotMagic, magic)
 	}
 	if err := persist.ExpectString(r, string(kind)); err != nil {
-		return fmt.Errorf("models: snapshot model kind mismatch: %w", err)
+		return 0, fmt.Errorf("models: snapshot model kind mismatch: %w", err)
 	}
-	return nil
+	return version, nil
 }
 
 // Snapshot implements Snapshotter.
@@ -52,18 +77,34 @@ func (m *MF) Snapshot(w io.Writer) error {
 	if err := m.users.(embSnapshotter).Snapshot(w); err != nil {
 		return err
 	}
-	return m.items.(embSnapshotter).Snapshot(w)
+	if err := m.items.(embSnapshotter).Snapshot(w); err != nil {
+		return err
+	}
+	if err := m.users.(embSnapshotter).SnapshotMoments(w); err != nil {
+		return err
+	}
+	return m.items.(embSnapshotter).SnapshotMoments(w)
 }
 
 // Restore implements Snapshotter.
 func (m *MF) Restore(r io.Reader) error {
-	if err := readHeader(r, KindMF); err != nil {
+	version, err := readHeader(r, KindMF)
+	if err != nil {
 		return err
 	}
 	if err := m.users.(embSnapshotter).Restore(r); err != nil {
 		return err
 	}
-	return m.items.(embSnapshotter).Restore(r)
+	if err := m.items.(embSnapshotter).Restore(r); err != nil {
+		return err
+	}
+	if version < 2 {
+		return nil
+	}
+	if err := m.users.(embSnapshotter).RestoreMoments(r); err != nil {
+		return err
+	}
+	return m.items.(embSnapshotter).RestoreMoments(r)
 }
 
 // Snapshot implements Snapshotter.
@@ -82,12 +123,19 @@ func (m *NeuMF) Snapshot(w io.Writer) error {
 			return err
 		}
 	}
-	return nil
+	if err := m.users.(embSnapshotter).SnapshotMoments(w); err != nil {
+		return err
+	}
+	if err := m.items.(embSnapshotter).SnapshotMoments(w); err != nil {
+		return err
+	}
+	return m.opt.SnapshotState(w, m.params)
 }
 
 // Restore implements Snapshotter.
 func (m *NeuMF) Restore(r io.Reader) error {
-	if err := readHeader(r, KindNeuMF); err != nil {
+	version, err := readHeader(r, KindNeuMF)
+	if err != nil {
 		return err
 	}
 	if err := m.users.(embSnapshotter).Restore(r); err != nil {
@@ -101,7 +149,16 @@ func (m *NeuMF) Restore(r io.Reader) error {
 			return err
 		}
 	}
-	return nil
+	if version < 2 {
+		return nil
+	}
+	if err := m.users.(embSnapshotter).RestoreMoments(r); err != nil {
+		return err
+	}
+	if err := m.items.(embSnapshotter).RestoreMoments(r); err != nil {
+		return err
+	}
+	return m.opt.RestoreState(r, m.params)
 }
 
 // Snapshot implements Snapshotter.
@@ -109,19 +166,36 @@ func (m *LightGCN) Snapshot(w io.Writer) error {
 	if err := writeHeader(w, KindLightGCN); err != nil {
 		return err
 	}
-	return persist.WriteFloat64s(w, m.e0.W.Data)
+	if err := persist.WriteFloat64s(w, m.e0.W.Data); err != nil {
+		return err
+	}
+	return m.opt.SnapshotState(w, []*nn.Param{m.e0})
 }
 
 // Restore implements Snapshotter.
 func (m *LightGCN) Restore(r io.Reader) error {
-	if err := readHeader(r, KindLightGCN); err != nil {
+	version, err := readHeader(r, KindLightGCN)
+	if err != nil {
 		return err
 	}
 	if err := persist.ReadFloat64sInto(r, m.e0.W.Data); err != nil {
 		return err
 	}
 	m.dirty = true
-	return nil
+	if version < 2 {
+		return nil
+	}
+	return m.opt.RestoreState(r, []*nn.Param{m.e0})
+}
+
+// paramList returns NGCF's parameters in the canonical serialization order:
+// E⁰, then W1 and W2 per layer.
+func (m *NGCF) paramList() []*nn.Param {
+	params := []*nn.Param{m.e0}
+	for l := range m.w1 {
+		params = append(params, m.w1[l], m.w2[l])
+	}
+	return params
 }
 
 // Snapshot implements Snapshotter.
@@ -140,12 +214,13 @@ func (m *NGCF) Snapshot(w io.Writer) error {
 			return err
 		}
 	}
-	return nil
+	return m.opt.SnapshotState(w, m.paramList())
 }
 
 // Restore implements Snapshotter.
 func (m *NGCF) Restore(r io.Reader) error {
-	if err := readHeader(r, KindNGCF); err != nil {
+	version, err := readHeader(r, KindNGCF)
+	if err != nil {
 		return err
 	}
 	if err := persist.ReadFloat64sInto(r, m.e0.W.Data); err != nil {
@@ -160,5 +235,8 @@ func (m *NGCF) Restore(r io.Reader) error {
 		}
 	}
 	m.dirty = true
-	return nil
+	if version < 2 {
+		return nil
+	}
+	return m.opt.RestoreState(r, m.paramList())
 }

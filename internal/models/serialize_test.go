@@ -4,6 +4,9 @@ import (
 	"bytes"
 	"math"
 	"testing"
+
+	"ptffedrec/internal/emb"
+	"ptffedrec/internal/persist"
 )
 
 // trainedModel builds a model of the given kind, trains it briefly, and
@@ -110,6 +113,131 @@ func TestLazySnapshotRoundTrip(t *testing.T) {
 	for _, smp := range smallBatch() {
 		if math.Abs(a.Score(smp.User, smp.Item)-b.Score(smp.User, smp.Item)) > 1e-12 {
 			t.Fatal("lazy snapshot round trip changed scores")
+		}
+	}
+}
+
+// TestCheckpointResumeExact pins the V2 format's reason to exist: training k
+// more batches after a restore must be bitwise-identical to never having
+// checkpointed, because the Adam moment state travels with the weights.
+func TestCheckpointResumeExact(t *testing.T) {
+	for _, kind := range []Kind{KindMF, KindNeuMF, KindNGCF, KindLightGCN} {
+		cfg := smallConfig()
+		a, err := New(kind, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gm, ok := a.(GraphRecommender); ok {
+			gm.SetGraph(smallGraph(cfg))
+		}
+		for i := 0; i < 7; i++ {
+			a.TrainBatch(smallBatch())
+		}
+		var buf bytes.Buffer
+		if err := a.(Snapshotter).Snapshot(&buf); err != nil {
+			t.Fatalf("%s snapshot: %v", kind, err)
+		}
+
+		b, err := New(kind, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gm, ok := b.(GraphRecommender); ok {
+			gm.SetGraph(smallGraph(cfg))
+		}
+		if err := b.(Snapshotter).Restore(&buf); err != nil {
+			t.Fatalf("%s restore: %v", kind, err)
+		}
+
+		for i := 0; i < 7; i++ {
+			la := a.TrainBatch(smallBatch())
+			lb := b.TrainBatch(smallBatch())
+			if la != lb {
+				t.Fatalf("%s: post-resume batch %d loss %v != %v", kind, i, la, lb)
+			}
+		}
+		for u := 0; u < smallConfig().NumUsers; u++ {
+			for v := 0; v < smallConfig().NumItems; v++ {
+				if a.Score(u, v) != b.Score(u, v) {
+					t.Fatalf("%s: score(%d,%d) diverged after resume: %v != %v",
+						kind, u, v, a.Score(u, v), b.Score(u, v))
+				}
+			}
+		}
+	}
+}
+
+// TestCheckpointResumeExactLazy is TestCheckpointResumeExact for lazy
+// embedding tables (the client-side configuration): per-row moments and step
+// counters must survive the round trip, and rows materialised after the
+// resume must draw the same init values as the uninterrupted run.
+func TestCheckpointResumeExactLazy(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Lazy = true
+	a, err := New(KindNeuMF, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Train on a subset of items so some rows stay unmaterialised at the
+	// checkpoint and first materialise after the resume.
+	pre := smallBatch()[:3]
+	for i := 0; i < 7; i++ {
+		a.TrainBatch(pre)
+	}
+	var buf bytes.Buffer
+	if err := a.(Snapshotter).Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(KindNeuMF, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.(Snapshotter).Restore(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 7; i++ {
+		la := a.TrainBatch(smallBatch())
+		lb := b.TrainBatch(smallBatch())
+		if la != lb {
+			t.Fatalf("lazy post-resume batch %d loss %v != %v", i, la, lb)
+		}
+	}
+	for _, smp := range smallBatch() {
+		if a.Score(smp.User, smp.Item) != b.Score(smp.User, smp.Item) {
+			t.Fatal("lazy checkpoint-resume diverged")
+		}
+	}
+}
+
+// TestRestoreReadsV1Snapshots pins backward compatibility: a weights-only V1
+// snapshot (the pre-moment format) must still load, restoring weights and
+// leaving optimizer state untouched.
+func TestRestoreReadsV1Snapshots(t *testing.T) {
+	src := trainedModel(t, KindMF, 1).(*MF)
+	var buf bytes.Buffer
+	// Hand-write the V1 layout: magic, kind, then the two weight blobs.
+	if err := persist.WriteString(&buf, snapshotMagicV1); err != nil {
+		t.Fatal(err)
+	}
+	if err := persist.WriteString(&buf, string(KindMF)); err != nil {
+		t.Fatal(err)
+	}
+	if err := persist.WriteFloat64s(&buf, src.users.(*emb.Table).W.Data); err != nil {
+		t.Fatal(err)
+	}
+	if err := persist.WriteFloat64s(&buf, src.items.(*emb.Table).W.Data); err != nil {
+		t.Fatal(err)
+	}
+
+	dst := trainedModel(t, KindMF, 99)
+	if err := dst.(Snapshotter).Restore(&buf); err != nil {
+		t.Fatalf("V1 restore: %v", err)
+	}
+	for u := 0; u < 4; u++ {
+		for v := 0; v < 6; v++ {
+			if a, b := src.Score(u, v), dst.Score(u, v); a != b {
+				t.Fatalf("V1 restore: score(%d,%d) %v != %v", u, v, a, b)
+			}
 		}
 	}
 }

@@ -1,6 +1,7 @@
 package nn
 
 import (
+	"fmt"
 	"math"
 
 	"ptffedrec/internal/tensor"
@@ -24,14 +25,24 @@ func SigmoidMat(x *tensor.Matrix) *tensor.Matrix {
 
 // ReLU applies max(0, x) element-wise, returning a new matrix.
 func ReLU(x *tensor.Matrix) *tensor.Matrix {
-	out := x.Clone()
-	out.Apply(func(v float64) float64 {
-		if v > 0 {
-			return v
-		}
-		return 0
-	})
+	out := tensor.New(x.Rows, x.Cols)
+	ReLUInto(out, x)
 	return out
+}
+
+// ReLUInto computes dst = max(0, x) element-wise, reusing dst's storage.
+func ReLUInto(dst, x *tensor.Matrix) *tensor.Matrix {
+	if dst.Rows != x.Rows || dst.Cols != x.Cols {
+		panic(fmt.Sprintf("nn: ReLUInto dst %dx%d for %dx%d", dst.Rows, dst.Cols, x.Rows, x.Cols))
+	}
+	for i, v := range x.Data {
+		if v > 0 {
+			dst.Data[i] = v
+		} else {
+			dst.Data[i] = 0
+		}
+	}
+	return dst
 }
 
 // ReLUBackward masks the upstream gradient dy by the activation pattern of

@@ -30,14 +30,24 @@ func NewDense(name string, in, out int, s *rng.Stream) *Dense {
 
 // Forward computes x·W + b. x is batch×In; the result is batch×Out.
 func (d *Dense) Forward(x *tensor.Matrix) *tensor.Matrix {
+	return d.ForwardInto(tensor.New(x.Rows, d.Out), x)
+}
+
+// ForwardInto computes dst = x·W + b, reusing dst's storage — the
+// allocation-free forward batched scoring drives through a preallocated
+// workspace. dst must be x.Rows×Out; it is returned for chaining.
+func (d *Dense) ForwardInto(dst, x *tensor.Matrix) *tensor.Matrix {
 	if x.Cols != d.In {
 		panic(fmt.Sprintf("nn: Dense %s forward with %d inputs, want %d", d.W.Name, x.Cols, d.In))
 	}
-	y := tensor.MatMul(x, d.W.W)
-	for i := 0; i < y.Rows; i++ {
-		tensor.AddVec(d.B.W.Row(0), y.Row(i))
+	if dst.Rows != x.Rows || dst.Cols != d.Out {
+		panic(fmt.Sprintf("nn: Dense %s ForwardInto dst %dx%d for batch %d", d.W.Name, dst.Rows, dst.Cols, x.Rows))
 	}
-	return y
+	tensor.MatMulInto(dst, x, d.W.W)
+	for i := 0; i < dst.Rows; i++ {
+		tensor.AddVec(d.B.W.Row(0), dst.Row(i))
+	}
+	return dst
 }
 
 // Backward accumulates dW = xᵀ·dy and db = Σ dy into the layer's gradients

@@ -1,8 +1,10 @@
 package nn
 
 import (
+	"io"
 	"math"
 
+	"ptffedrec/internal/persist"
 	"ptffedrec/internal/tensor"
 )
 
@@ -70,6 +72,54 @@ func (o *Adam) Step(params []*Param) {
 		}
 		p.ZeroGrad()
 	}
+}
+
+// SnapshotState writes the optimizer's moment estimates for params, in the
+// given order — the caller's canonical parameter order versions the layout.
+// Parameters that have never been stepped serialise as a zero state, which is
+// exactly the state Step would lazily create for them.
+func (o *Adam) SnapshotState(w io.Writer, params []*Param) error {
+	for _, p := range params {
+		st, ok := o.state[p]
+		if !ok {
+			st = &adamState{m: tensor.New(p.W.Rows, p.W.Cols), v: tensor.New(p.W.Rows, p.W.Cols)}
+		}
+		if err := persist.WriteUint64(w, uint64(st.t)); err != nil {
+			return err
+		}
+		if err := persist.WriteFloat64s(w, st.m.Data); err != nil {
+			return err
+		}
+		if err := persist.WriteFloat64s(w, st.v.Data); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RestoreState reads moment estimates previously written by SnapshotState
+// with the same parameter order, so a restored model's next Step continues
+// the bias-corrected moment sequence exactly.
+func (o *Adam) RestoreState(r io.Reader, params []*Param) error {
+	for _, p := range params {
+		st, ok := o.state[p]
+		if !ok {
+			st = &adamState{m: tensor.New(p.W.Rows, p.W.Cols), v: tensor.New(p.W.Rows, p.W.Cols)}
+			o.state[p] = st
+		}
+		t, err := persist.ReadUint64(r)
+		if err != nil {
+			return err
+		}
+		st.t = int(t)
+		if err := persist.ReadFloat64sInto(r, st.m.Data); err != nil {
+			return err
+		}
+		if err := persist.ReadFloat64sInto(r, st.v.Data); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // ClipGradNorm rescales all gradients so their global L2 norm is at most
