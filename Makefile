@@ -14,8 +14,14 @@ test:
 race:
 	$(GO) test -race -short ./...
 
+# bench runs the smoke benchmarks and regenerates the committed perf
+# trajectory record (the same sweep CI uploads as an artifact per commit).
+# The JSON lands in a temp file first so a failed run never truncates the
+# committed record.
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' .
+	$(GO) run ./cmd/ptfbench -exp scalability -quick -json > BENCH_scalability.json.tmp
+	mv BENCH_scalability.json.tmp BENCH_scalability.json
 
 fmt:
 	gofmt -w .

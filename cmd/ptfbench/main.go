@@ -11,8 +11,12 @@
 //
 // The scalability sweep reports, per worker count, round and eval timings
 // plus a batched-vs-scalar comparison (the same evaluation forced through
-// per-item scoring, against the BlockScorer matrix-kernel engine), and an
+// per-item scoring, against the BlockScorer matrix-kernel engine), a
+// select-vs-sort comparison (ranking forced through the legacy full-sort
+// top-K, against the fused streaming bounded-heap selection engine), and an
 // eval+dispersal overlap measurement (sequential vs concurrent tail).
+// BENCH_scalability.json at the repo root records the sweep per commit
+// (`make bench` regenerates it; CI uploads a fresh one as an artifact).
 package main
 
 import (

@@ -25,6 +25,9 @@ type FCF struct {
 
 	meter *comm.Meter
 	root  *rng.Stream
+
+	// evaluator caches the per-user candidate sets across Evaluate calls.
+	evaluator *eval.Evaluator
 }
 
 // NewFCF builds the baseline for a split.
@@ -137,7 +140,7 @@ func (f *FCF) Evaluate() eval.Result {
 		}
 		return out
 	})
-	return eval.Ranking(scorer, f.split, f.cfg.EvalK)
+	return eval.LazyEvaluator(&f.evaluator, f.split).Rank(scorer, f.cfg.EvalK, 0)
 }
 
 // AvgBytesPerClientPerRound implements FederatedBaseline.

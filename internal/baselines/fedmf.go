@@ -39,6 +39,9 @@ type FedMF struct {
 
 	meter *comm.Meter
 	root  *rng.Stream
+
+	// evaluator caches the per-user candidate sets across Evaluate calls.
+	evaluator *eval.Evaluator
 }
 
 // NewFedMF builds the baseline. Real mode generates an actual key pair and
@@ -234,7 +237,7 @@ func (f *FedMF) Evaluate() eval.Result {
 		}
 		return out
 	})
-	return eval.Ranking(scorer, f.split, f.cfg.EvalK)
+	return eval.LazyEvaluator(&f.evaluator, f.split).Rank(scorer, f.cfg.EvalK, 0)
 }
 
 // AvgBytesPerClientPerRound implements FederatedBaseline.

@@ -40,6 +40,9 @@ type MetaMF struct {
 
 	meter *comm.Meter
 	root  *rng.Stream
+
+	// evaluator caches the per-user candidate sets across Evaluate calls.
+	evaluator *eval.Evaluator
 }
 
 // NewMetaMF builds the baseline for a split.
@@ -218,7 +221,7 @@ func (m *MetaMF) Evaluate() eval.Result {
 		}
 		return out
 	})
-	return eval.Ranking(scorer, m.split, m.cfg.EvalK)
+	return eval.LazyEvaluator(&m.evaluator, m.split).Rank(scorer, m.cfg.EvalK, 0)
 }
 
 // AvgBytesPerClientPerRound implements FederatedBaseline.

@@ -45,6 +45,10 @@ type Trainer struct {
 	split *data.Split
 	model models.Recommender
 	s     *rng.Stream
+
+	// evaluator caches the per-user candidate sets across Evaluate calls
+	// (the split is immutable; the cache is cutoff-independent).
+	evaluator *eval.Evaluator
 }
 
 // NewTrainer builds the model (and, for graph recommenders, the training
@@ -116,7 +120,8 @@ func (t *Trainer) Run() float64 {
 	return loss
 }
 
-// Evaluate computes Recall@k and NDCG@k on the held-out items.
+// Evaluate computes Recall@k and NDCG@k on the held-out items, reusing the
+// trainer's cached candidate sets across calls.
 func (t *Trainer) Evaluate(k int) eval.Result {
-	return eval.Ranking(t.model, t.split, k)
+	return eval.LazyEvaluator(&t.evaluator, t.split).Rank(t.model, k, 0)
 }

@@ -6,15 +6,23 @@
 // traffic is kilobytes it dominates server-side wall-clock, so Ranking fans
 // the user loop out over a worker pool. Per-user metric values are written to
 // index-addressed slots and reduced sequentially in user order, so the result
-// is bitwise-identical for every worker count. Within a user, scorers that
-// implement BlockScorer are driven through the batched scoring engine: the
-// whole candidate list is scored with matrix kernels, again bitwise-identical
-// to per-item scoring, so Results never depend on the path taken.
+// is bitwise-identical for every worker count.
+//
+// Two engines remove the remaining per-user round costs. The candidate cache:
+// an Evaluator builds each user's candidate list from the immutable train
+// mask once and reuses it every round, so the per-round loop never touches
+// Split.InTrain. The selection engine: scorers that implement BlockScorer are
+// driven chunk-wise through models.ScoreBlockTopK, so a user's scores stream
+// through a bounded-heap top-k selection instead of materialising a
+// NumItems-length vector and stable-sorting an index permutation. Both paths
+// are bitwise-identical to the naive score-everything-then-sort evaluation,
+// so Results never depend on the path taken.
 package eval
 
 import (
 	"ptffedrec/internal/data"
 	"ptffedrec/internal/metrics"
+	"ptffedrec/internal/models"
 	"ptffedrec/internal/par"
 )
 
@@ -35,9 +43,10 @@ type ScorerFunc func(u int, items []int) []float64
 func (f ScorerFunc) ScoreItems(u int, items []int) []float64 { return f(u, items) }
 
 // ScorerInto is an optional Scorer extension for models whose batch scoring
-// can reuse a caller buffer (models.InplaceScorer satisfies it). Ranking
-// gives each worker one reusable score buffer for its whole share of users,
-// cutting a per-user allocation of |candidates| floats from the hot loop.
+// can reuse a caller buffer (models.InplaceScorer satisfies it). The
+// evaluator gives each worker one reusable score buffer for its whole share
+// of users, cutting a per-user allocation of |candidates| floats from the hot
+// loop.
 type ScorerInto interface {
 	ScoreItemsInto(dst []float64, u int, items []int) []float64
 }
@@ -45,16 +54,17 @@ type ScorerInto interface {
 // BlockScorer is the batched scoring engine's contract (models.BlockScorer
 // satisfies it): ScoreBlockInto fills dst — length len(items) — with user u's
 // scores for the whole candidate block through matrix kernels, with results
-// bitwise-identical to the per-item ScoreItems path. Ranking prefers this
-// path: one user's entire candidate list becomes a single row-gather GEMV (or
-// chunked MLP forward) instead of |candidates| scalar dots.
+// bitwise-identical to the per-item ScoreItems path. The evaluator prefers
+// this path and fuses selection into it: the candidate list streams through
+// models.ScoreBlockTopK in fixed-size chunks, so only a chunk of scores is
+// ever materialised.
 type BlockScorer interface {
 	ScoreBlockInto(dst []float64, u int, items []int)
 }
 
-// scoreItems scores through the strongest path the scorer supports — batched
-// block scoring, then buffer-reusing per-item, then plain ScoreItems. buf is
-// owned by the calling goroutine and carried across users.
+// scoreItems scores through the strongest non-fused path the scorer supports
+// — batched block scoring, then buffer-reusing per-item, then plain
+// ScoreItems. buf is owned by the calling goroutine and carried across users.
 func scoreItems(s Scorer, buf *[]float64, u int, items []int) []float64 {
 	if bs, ok := s.(BlockScorer); ok {
 		out := *buf
@@ -78,7 +88,7 @@ func scoreItems(s Scorer, buf *[]float64, u int, items []int) []float64 {
 // Warmer is an optional Scorer extension. WarmScoring precomputes any lazily
 // cached shared state (e.g. a graph model's propagated embeddings) so that
 // subsequent ScoreItems calls are read-only and safe to issue concurrently.
-// Ranking invokes it once before fanning out to workers.
+// The evaluator invokes it once before fanning out to workers.
 type Warmer interface {
 	WarmScoring()
 }
@@ -89,25 +99,119 @@ type Result struct {
 	Users        int
 }
 
-// Ranking evaluates the scorer on a split at cutoff k with GOMAXPROCS
-// workers. For each user with held-out items, every non-train item is scored;
-// train positives are excluded from the candidate list.
-func Ranking(s Scorer, sp *data.Split, k int) Result {
-	return RankingWorkers(s, sp, k, 0)
+// Evaluator is the selection engine's round-persistent state for one split:
+// the evaluated-user list and every user's candidate set, built exactly once
+// — the train mask never changes across rounds — and reused by every Rank
+// call. The candidate lists do not depend on the cutoff, so one Evaluator
+// serves any k. It is scorer-agnostic and read-only after construction, so
+// one Evaluator can serve concurrent Rank calls (the federated trainer holds
+// one across rounds and shares it between the server and client evaluations).
+//
+// Candidates are stored as int32 in one contiguous backing array: four bytes
+// per (user, candidate) pair, ≈760 MB at the full 50k-user × 4000-item
+// profile and ≈20 MB at the default small profile — the memory the cache
+// trades for never rebuilding candidate lists or probing the train mask
+// again. One-shot callers (Ranking, RankingWorkers) use a streaming
+// evaluator instead, which rebuilds each user's list in per-worker scratch
+// and allocates no cache at all.
+type Evaluator struct {
+	sp *data.Split
+
+	users   []int   // users with held-out items, ascending
+	candOff []int   // candOff[i]:candOff[i+1] bounds users[i]'s candidates
+	cand    []int32 // concatenated per-user candidate lists, ascending; nil when streaming
+
+	// SortSelect forces ranking through the legacy sort path — the full
+	// score vector materialised, then metrics.TopK's stable sort over an
+	// O(NumItems) index permutation — instead of the streaming bounded-heap
+	// selection. Results are bitwise-identical either way; the scalability
+	// experiment flips this to time select vs sort. Set before Rank, never
+	// concurrently with it.
+	SortSelect bool
 }
 
-// RankingWorkers is Ranking with an explicit worker count (<= 0 means
-// GOMAXPROCS). Metrics are bitwise-identical for every worker count: per-user
-// values depend only on the scorer, and the reduction runs sequentially in
-// user order.
-func RankingWorkers(s Scorer, sp *data.Split, k, workers int) Result {
-	users := make([]int, 0, sp.NumUsers)
+// NewEvaluator builds the candidate cache for a split. Each user's candidate
+// list is the ascending complement of their training positives, computed with
+// one merge walk over the sorted train list.
+func NewEvaluator(sp *data.Split) *Evaluator {
+	e := newStreamingEvaluator(sp)
+	total := 0
+	for _, u := range e.users {
+		total += sp.NumItems - len(sp.Train[u])
+	}
+	e.candOff = make([]int, len(e.users)+1)
+	e.cand = make([]int32, 0, total)
+	for i, u := range e.users {
+		e.cand = appendCandidates(e.cand, sp, u)
+		e.candOff[i+1] = len(e.cand)
+	}
+	return e
+}
+
+// LazyEvaluator returns *ep, building the split's candidate cache into it on
+// first use — the one lazy-init used by every trainer that holds a cached
+// Evaluator across rounds.
+func LazyEvaluator(ep **Evaluator, sp *data.Split) *Evaluator {
+	if *ep == nil {
+		*ep = NewEvaluator(sp)
+	}
+	return *ep
+}
+
+// newStreamingEvaluator builds an Evaluator without the candidate cache:
+// Rank rebuilds each user's candidate list in per-worker scratch with the
+// same merge walk. Right for one-shot evaluations, where a cache would be
+// built and thrown away.
+func newStreamingEvaluator(sp *data.Split) *Evaluator {
+	e := &Evaluator{sp: sp}
 	for u := 0; u < sp.NumUsers; u++ {
 		if len(sp.Test[u]) > 0 {
-			users = append(users, u)
+			e.users = append(e.users, u)
 		}
 	}
-	if len(users) == 0 {
+	return e
+}
+
+// appendCandidates appends user u's candidate items (the ascending complement
+// of their sorted training positives) to dst — the one definition of the
+// candidate set, shared by the cache build (int32) and the streaming
+// per-worker rebuild (int).
+func appendCandidates[T int | int32](dst []T, sp *data.Split, u int) []T {
+	train := sp.Train[u]
+	ti := 0
+	for v := 0; v < sp.NumItems; v++ {
+		if ti < len(train) && train[ti] == v {
+			ti++
+			continue
+		}
+		dst = append(dst, T(v))
+	}
+	return dst
+}
+
+// Users returns how many users the evaluator covers.
+func (e *Evaluator) Users() int { return len(e.users) }
+
+// scratch is one worker's reusable state for its whole share of users: the
+// widened candidate list, the score buffer (non-fused paths only), the
+// selection output, the ranked item list, the relevance set, and the fused
+// selection engine's scratch. Nothing here is allocated per user.
+type scratch struct {
+	cand     []int
+	scores   []float64
+	top      []int
+	ranked   []int
+	relevant map[int]bool
+	topk     models.TopKScratch
+}
+
+// Rank evaluates the scorer at cutoff k over the cached (or streamed)
+// candidate sets with the given worker count (<= 0 means GOMAXPROCS).
+// Metrics are bitwise-identical for every worker count and every
+// selection/scoring path: per-user values depend only on the scorer, and the
+// reduction runs sequentially in user order.
+func (e *Evaluator) Rank(s Scorer, k, workers int) Result {
+	if len(e.users) == 0 {
 		return Result{}
 	}
 	workers = par.Workers(workers)
@@ -116,46 +220,88 @@ func RankingWorkers(s Scorer, sp *data.Split, k, workers int) Result {
 			w.WarmScoring()
 		}
 	}
-	recalls := make([]float64, len(users))
-	ndcgs := make([]float64, len(users))
-	// Chunk users so each worker reuses one candidate buffer and one score
-	// buffer across its whole share instead of allocating per user.
-	chunk := (len(users) + workers - 1) / workers
-	par.ForChunks(len(users), chunk, workers, func(lo, hi int) {
-		buf := make([]int, 0, sp.NumItems)
-		scores := make([]float64, 0, sp.NumItems)
+	recalls := make([]float64, len(e.users))
+	ndcgs := make([]float64, len(e.users))
+	// Chunk users so each worker reuses one scratch across its whole share
+	// instead of allocating per user.
+	chunk := (len(e.users) + workers - 1) / workers
+	par.ForChunks(len(e.users), chunk, workers, func(lo, hi int) {
+		sc := &scratch{
+			cand:     make([]int, e.sp.NumItems),
+			ranked:   make([]int, 0, k),
+			relevant: make(map[int]bool, 16),
+		}
 		for i := lo; i < hi; i++ {
-			recalls[i], ndcgs[i] = evalUser(s, sp, users[i], k, &buf, &scores)
+			recalls[i], ndcgs[i] = e.evalUser(s, sc, i, k)
 		}
 	})
 	var agg metrics.RankEval
-	for i := range users {
+	for i := range e.users {
 		agg.AddUser(recalls[i], ndcgs[i])
 	}
 	r, n := agg.Mean()
 	return Result{Recall: r, NDCG: n, Users: agg.Users}
 }
 
-// evalUser scores one user's full candidate list and returns its Recall@k and
-// NDCG@k. buf and scoreBuf are reusable buffers owned by the calling
-// goroutine.
-func evalUser(s Scorer, sp *data.Split, u, k int, buf *[]int, scoreBuf *[]float64) (recall, ndcg float64) {
-	candidates := (*buf)[:0]
-	for v := 0; v < sp.NumItems; v++ {
-		if !sp.InTrain(u, v) {
-			candidates = append(candidates, v)
+// evalUser ranks one user and returns their Recall@k and NDCG@k. All storage
+// comes from the worker's scratch.
+func (e *Evaluator) evalUser(s Scorer, sc *scratch, i, k int) (recall, ndcg float64) {
+	u := e.users[i]
+	var cand []int
+	if e.cand != nil {
+		cand32 := e.cand[e.candOff[i]:e.candOff[i+1]]
+		cand = sc.cand[:len(cand32)]
+		for j, v := range cand32 {
+			cand[j] = int(v)
 		}
+	} else {
+		// Streaming evaluator: rebuild the candidate list in scratch with the
+		// same merge walk the cache build uses.
+		cand = appendCandidates(sc.cand[:0], e.sp, u)
 	}
-	*buf = candidates
-	scores := scoreItems(s, scoreBuf, u, candidates)
-	top := metrics.TopK(scores, k)
-	ranked := make([]int, len(top))
-	for i, idx := range top {
-		ranked[i] = candidates[idx]
+	var top []int
+	bs, fused := s.(BlockScorer)
+	switch {
+	case e.SortSelect:
+		// Legacy path: full score vector, stable sort of an O(n) index
+		// permutation. Kept as the timing baseline and reference semantics.
+		scores := scoreItems(s, &sc.scores, u, cand)
+		top = metrics.TopK(scores, k)
+	case fused:
+		// Fused path: scores stream chunk-wise into a bounded-heap selection;
+		// no full score vector exists.
+		top = models.ScoreBlockTopK(bs, &sc.topk, u, cand, k)
+	default:
+		// Partial selection over a materialised score vector (scorers without
+		// block scoring, e.g. per-client adapters).
+		scores := scoreItems(s, &sc.scores, u, cand)
+		sc.top = metrics.TopKInto(sc.top, scores, k)
+		top = sc.top
 	}
-	relevant := make(map[int]bool, len(sp.Test[u]))
-	for _, v := range sp.Test[u] {
-		relevant[v] = true
+	ranked := sc.ranked[:0]
+	for _, idx := range top {
+		ranked = append(ranked, cand[idx])
 	}
-	return metrics.RecallAtK(ranked, relevant, k), metrics.NDCGAtK(ranked, relevant, k)
+	sc.ranked = ranked
+	clear(sc.relevant)
+	for _, v := range e.sp.Test[u] {
+		sc.relevant[v] = true
+	}
+	return metrics.RecallAtK(ranked, sc.relevant, k), metrics.NDCGAtK(ranked, sc.relevant, k)
+}
+
+// Ranking evaluates the scorer on a split at cutoff k with GOMAXPROCS
+// workers. For each user with held-out items, every non-train item is scored;
+// train positives are excluded from the candidate list.
+func Ranking(s Scorer, sp *data.Split, k int) Result {
+	return RankingWorkers(s, sp, k, 0)
+}
+
+// RankingWorkers is Ranking with an explicit worker count (<= 0 means
+// GOMAXPROCS). It streams candidates from the train mask in per-worker
+// scratch — no cache is allocated; callers that evaluate the same split every
+// round should hold a persistent Evaluator instead, which additionally caches
+// the candidate lists.
+func RankingWorkers(s Scorer, sp *data.Split, k, workers int) Result {
+	return newStreamingEvaluator(sp).Rank(s, k, workers)
 }

@@ -33,6 +33,14 @@ type ScalabilityRow struct {
 	EvalScalarSecs     float64 `json:"eval_scalar_secs"`
 	BatchedEvalSpeedup float64 `json:"batched_eval_speedup"`
 
+	// Select-vs-sort comparison at this worker count: the same evaluation
+	// with ranking forced through the legacy sort path (full score vector,
+	// stable sort of an O(NumItems) index permutation per user) against the
+	// fused streaming bounded-heap selection engine, and the speedup the
+	// engine buys. Metrics must again be bitwise-identical.
+	EvalSortSecs  float64 `json:"eval_sort_secs"`
+	SelectSpeedup float64 `json:"select_speedup"`
+
 	// Per-phase mean seconds per round.
 	ClientSecs      float64 `json:"client_secs"`
 	AbsorbSecs      float64 `json:"absorb_secs"`
@@ -133,6 +141,12 @@ func RunScalability(o Options) (*ScalabilityResult, error) {
 		Deterministic: true,
 	}
 
+	// One candidate cache serves every trainer and every timed pass: it
+	// depends only on the split, constant across the sweep, so no timed
+	// region ever pays the one-off cache construction and no trainer holds a
+	// duplicate copy.
+	evaluator := eval.NewEvaluator(sp)
+
 	// Untimed warmup: one round + eval on a throwaway trainer, so the timed
 	// sweep doesn't charge the first row for heap growth and page-cache
 	// warmup (visible as a large workers=1 outlier otherwise).
@@ -143,6 +157,7 @@ func RunScalability(o Options) (*ScalabilityResult, error) {
 		if err != nil {
 			return nil, fmt.Errorf("scalability: %w", err)
 		}
+		warm.ShareEvaluator(evaluator)
 		warm.RunRound(0)
 		warm.EvaluateServer()
 	}
@@ -170,15 +185,26 @@ func RunScalability(o Options) (*ScalabilityResult, error) {
 		phases := tr.PhaseSeconds()
 
 		start = time.Now()
-		ev := tr.EvaluateServer()
+		ev := evaluator.Rank(tr.Server().Model(), wcfg.EvalK, workers)
 		evalSecs := time.Since(start).Seconds()
 
 		// The same evaluation through the per-item scoring path: the gap to
 		// evalSecs is what the batched BlockScorer engine buys.
 		start = time.Now()
-		evScalar := eval.RankingWorkers(scalarScorer{tr.Server().Model()}, sp, wcfg.EvalK, workers)
+		evScalar := evaluator.Rank(scalarScorer{tr.Server().Model()}, wcfg.EvalK, workers)
 		evalScalarSecs := time.Since(start).Seconds()
 		if evScalar != ev {
+			res.Deterministic = false
+		}
+
+		// And with ranking forced through the legacy full-sort selection: the
+		// gap to evalSecs is what the fused top-K selection engine buys.
+		evaluator.SortSelect = true
+		start = time.Now()
+		evSort := evaluator.Rank(tr.Server().Model(), wcfg.EvalK, workers)
+		evalSortSecs := time.Since(start).Seconds()
+		evaluator.SortSelect = false
+		if evSort != ev {
 			res.Deterministic = false
 		}
 
@@ -188,6 +214,7 @@ func RunScalability(o Options) (*ScalabilityResult, error) {
 			RoundSecs:       trainSecs * perRound,
 			EvalSecs:        evalSecs,
 			EvalScalarSecs:  evalScalarSecs,
+			EvalSortSecs:    evalSortSecs,
 			Recall:          ev.Recall,
 			NDCG:            ev.NDCG,
 			ClientSecs:      phases.ClientTrain * perRound,
@@ -201,6 +228,7 @@ func RunScalability(o Options) (*ScalabilityResult, error) {
 		}
 		if row.EvalSecs > 0 {
 			row.BatchedEvalSpeedup = row.EvalScalarSecs / row.EvalSecs
+			row.SelectSpeedup = row.EvalSortSecs / row.EvalSecs
 		}
 		if len(res.Rows) == 0 {
 			refRounds, refEval = rounds, ev
@@ -245,6 +273,10 @@ func RunScalability(o Options) (*ScalabilityResult, error) {
 		if err != nil {
 			return nil, fmt.Errorf("scalability: %w", err)
 		}
+		// Both trainers reuse the sweep's candidate cache, so neither timed
+		// tail pays a lazy cache build and no duplicate copy is held.
+		seqTr.ShareEvaluator(evaluator)
+		conTr.ShareEvaluator(evaluator)
 		var seqEvalSecs float64
 		for round := 0; round < ocfg.Rounds; round++ {
 			seqStats := seqTr.RunRound(round)
@@ -310,12 +342,13 @@ func roundsEqual(a, b []fed.RoundStats) bool {
 func (r *ScalabilityResult) Print(w io.Writer) {
 	fmt.Fprintf(w, "Scalability: %s (%d users × %d items), %d rounds, GOMAXPROCS=%d\n",
 		r.Profile, r.Users, r.Items, r.Rounds, r.GOMAXPROCS)
-	fmt.Fprintf(w, "  %-8s %12s %12s %10s %10s %10s %12s %12s\n",
-		"workers", "round-secs", "rounds/sec", "round-spdup", "eval-secs", "eval-spdup", "eval-scalar", "batch-spdup")
+	fmt.Fprintf(w, "  %-8s %12s %12s %10s %10s %10s %12s %12s %12s %12s\n",
+		"workers", "round-secs", "rounds/sec", "round-spdup", "eval-secs", "eval-spdup",
+		"eval-scalar", "batch-spdup", "eval-sort", "select-spdup")
 	for _, row := range r.Rows {
-		fmt.Fprintf(w, "  %-8d %12.3f %12.3f %10.2fx %10.3f %10.2fx %12.3f %11.2fx\n",
+		fmt.Fprintf(w, "  %-8d %12.3f %12.3f %10.2fx %10.3f %10.2fx %12.3f %11.2fx %12.3f %11.2fx\n",
 			row.Workers, row.RoundSecs, row.RoundsPerSec, row.RoundSpeedup, row.EvalSecs, row.EvalSpeedup,
-			row.EvalScalarSecs, row.BatchedEvalSpeedup)
+			row.EvalScalarSecs, row.BatchedEvalSpeedup, row.EvalSortSecs, row.SelectSpeedup)
 	}
 	fmt.Fprintln(w, "  per-phase (secs/round):")
 	fmt.Fprintf(w, "  %-8s %10s %10s %10s %12s %10s %12s %12s\n",

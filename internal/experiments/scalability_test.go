@@ -42,6 +42,10 @@ func TestRunScalability(t *testing.T) {
 		if row.EvalScalarSecs <= 0 || row.BatchedEvalSpeedup <= 0 {
 			t.Fatalf("row %+v missing batched-vs-scalar eval comparison", row)
 		}
+		// Likewise the selection engine's select-vs-sort comparison.
+		if row.EvalSortSecs <= 0 || row.SelectSpeedup <= 0 {
+			t.Fatalf("row %+v missing select-vs-sort eval comparison", row)
+		}
 	}
 	if res.OverlapSequentialSecs <= 0 || res.OverlapConcurrentSecs <= 0 || res.OverlapSpeedup <= 0 {
 		t.Fatalf("missing eval+dispersal overlap measurement: %+v", res)

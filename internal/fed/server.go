@@ -7,6 +7,7 @@ import (
 
 	"ptffedrec/internal/comm"
 	"ptffedrec/internal/graph"
+	"ptffedrec/internal/metrics"
 	"ptffedrec/internal/models"
 	"ptffedrec/internal/par"
 	"ptffedrec/internal/rng"
@@ -279,11 +280,12 @@ func (sv *Server) buildDispersalPlan() *dispersalPlan {
 }
 
 // disperseScratch is per-worker reusable storage for the dispersal loop, so
-// a worker's whole share of clients runs with three allocations total.
+// a worker's whole share of clients runs with a handful of allocations total.
 type disperseScratch struct {
 	eligible []int
 	scores   []float64
 	top      []int
+	topk     models.TopKScratch
 }
 
 // disperse builds D̃ᵢ for one client (Eq. 9): µα items by update-frequency
@@ -335,8 +337,29 @@ func (sv *Server) disperse(c *Client, ds *rng.Stream, plan *dispersalPlan, scrat
 		}
 		return false
 	}
-	pick := func(ranked []int, n int) {
+	// pick moves up to n non-chosen items from ranked into D̃ᵢ and returns
+	// how many slots it could not fill.
+	pick := func(ranked []int, n int) int {
 		for _, v := range ranked {
+			if n == 0 {
+				break
+			}
+			if chosen(v) {
+				continue
+			}
+			items = append(items, v)
+			n--
+		}
+		return n
+	}
+	// fill backstops the random ablation arms: an oversample (2×nConf /
+	// 3×nHard draws) can collide with already-chosen items and leave pick
+	// short, which used to under-fill D̃ᵢ below α. A deterministic walk of the
+	// remaining eligible items tops the set back up to min(α, |eligible|)
+	// without consuming the client's random stream, so worker-count
+	// invariance is preserved.
+	fill := func(n int) {
+		for _, v := range eligible {
 			if n == 0 {
 				break
 			}
@@ -356,7 +379,7 @@ func (sv *Server) disperse(c *Client, ds *rng.Stream, plan *dispersalPlan, scrat
 			if k > len(eligible) {
 				k = len(eligible)
 			}
-			pick(rng.SampleSlice(ds, eligible, k), nConf)
+			fill(pick(rng.SampleSlice(ds, eligible, k), nConf))
 		} else {
 			n := nConf
 			for _, v := range plan.confRank {
@@ -376,16 +399,30 @@ func (sv *Server) disperse(c *Client, ds *rng.Stream, plan *dispersalPlan, scrat
 	// selection with a bounded heap: the conf half can overlap the score
 	// ranking by at most len(items), so the top (nHard + len(items)) prefix
 	// is guaranteed to contain nHard non-chosen items when enough exist.
+	// Block-scoring models run the fused engine — eligible scores stream
+	// chunk-wise into the selection, never materialising an |eligible|-length
+	// vector — which the BlockScorer contract keeps bitwise-identical to
+	// score-everything-then-sort.
 	if nHard > 0 {
 		if hardRandom {
 			k := nHard * 3
 			if k > len(eligible) {
 				k = len(eligible)
 			}
-			pick(rng.SampleSlice(ds, eligible, k), nHard)
+			fill(pick(rng.SampleSlice(ds, eligible, k), nHard))
 		} else {
-			scratch.scores = sv.scoreItems(scratch.scores, c.ID, eligible)
-			scratch.top = topKByScore(scratch.top, eligible, scratch.scores, nHard+len(items))
+			kSel := nHard + len(items)
+			if bs, ok := sv.model.(models.BlockScorer); ok {
+				top := models.ScoreBlockTopK(bs, &scratch.topk, c.ID, eligible, kSel)
+				buf := scratch.top[:0]
+				for _, idx := range top {
+					buf = append(buf, eligible[idx])
+				}
+				scratch.top = buf
+			} else {
+				scratch.scores = sv.scoreItems(scratch.scores, c.ID, eligible)
+				scratch.top = topKByScore(scratch.top, eligible, scratch.scores, kSel)
+			}
 			pick(scratch.top, nHard)
 		}
 	}
@@ -421,62 +458,14 @@ func (sv *Server) scoreItems(dst []float64, user int, items []int) []float64 {
 
 // topKByScore returns the k highest-scoring items ordered by
 // (score desc, item asc) — the exact order a stable descending sort of an
-// ascending item list produces — using a bounded min-heap: O(n log k) with k
-// ≈ α instead of the former per-client O(n log n) full sort. dst is reused
-// when it has capacity.
+// ascending item list produces. items must be in ascending id order (the
+// eligible set always is), which makes (score desc, index asc) — the shared
+// selection kernel's order — coincide with (score desc, item asc). dst is
+// reused when it has capacity.
 func topKByScore(dst, items []int, scores []float64, k int) []int {
-	if k > len(items) {
-		k = len(items)
+	dst = metrics.TopKInto(dst, scores, k)
+	for i, idx := range dst {
+		dst[i] = items[idx]
 	}
-	if k <= 0 {
-		return dst[:0]
-	}
-	// heap[i] is an index into items; the root is the worst kept candidate.
-	// worse = lower score, or equal score and larger item id.
-	worse := func(a, b int) bool {
-		if scores[a] != scores[b] {
-			return scores[a] < scores[b]
-		}
-		return items[a] > items[b]
-	}
-	if cap(dst) < k {
-		dst = make([]int, k)
-	}
-	heap := dst[:k]
-	for i := range heap {
-		heap[i] = i
-	}
-	siftDown := func(i int) {
-		for {
-			l, r := 2*i+1, 2*i+2
-			m := i
-			if l < k && worse(heap[l], heap[m]) {
-				m = l
-			}
-			if r < k && worse(heap[r], heap[m]) {
-				m = r
-			}
-			if m == i {
-				return
-			}
-			heap[i], heap[m] = heap[m], heap[i]
-			i = m
-		}
-	}
-	for i := k/2 - 1; i >= 0; i-- {
-		siftDown(i)
-	}
-	for i := k; i < len(items); i++ {
-		if worse(heap[0], i) {
-			heap[0] = i
-			siftDown(0)
-		}
-	}
-	// Sort the kept indices into the final (score desc, id asc) order and
-	// rewrite them as item ids in place.
-	sort.Slice(heap, func(a, b int) bool { return worse(heap[b], heap[a]) })
-	for i, idx := range heap {
-		heap[i] = items[idx]
-	}
-	return heap
+	return dst
 }

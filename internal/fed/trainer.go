@@ -73,6 +73,12 @@ type Trainer struct {
 	meter   *comm.Meter
 	root    *rng.Stream
 	phases  PhaseSeconds
+
+	// evaluator caches the per-user candidate sets across rounds (the train
+	// mask never changes), built lazily on the first evaluation. It is
+	// read-only after construction, so the server and client evaluations —
+	// and an eval overlapped with dispersal — can all share it.
+	evaluator *eval.Evaluator
 }
 
 // NewTrainer wires up one client per user and the hidden server model.
@@ -340,12 +346,25 @@ func (t *Trainer) Run() (*History, error) {
 	return h, nil
 }
 
+// splitEvaluator returns the trainer's round-cached evaluator, building the
+// candidate cache on first use.
+func (t *Trainer) splitEvaluator() *eval.Evaluator {
+	return eval.LazyEvaluator(&t.evaluator, t.split)
+}
+
+// ShareEvaluator hands the trainer a prebuilt candidate cache for its split.
+// The evaluator is read-only after construction, so several trainers over the
+// same split (e.g. a benchmark sweep) can share one instead of each building
+// the O(Users × NumItems) cache. Call before the first evaluation; do not
+// call mid-round.
+func (t *Trainer) ShareEvaluator(e *eval.Evaluator) { t.evaluator = e }
+
 // EvaluateServer measures the hidden model's ranking quality — the quantity
 // Table III reports for PTF-FedRec. Evaluation fans out over
 // Config.EvalWorkers workers (0 = GOMAXPROCS) with metrics identical for any
-// worker count.
+// worker count, reusing the trainer's cached candidate sets every round.
 func (t *Trainer) EvaluateServer() eval.Result {
-	return eval.RankingWorkers(t.server.model, t.split, t.cfg.EvalK, t.cfg.EvalWorkers)
+	return t.splitEvaluator().Rank(t.server.model, t.cfg.EvalK, t.cfg.EvalWorkers)
 }
 
 // EvaluateClients measures the mean ranking quality of the client-side local
@@ -356,7 +375,7 @@ func (t *Trainer) EvaluateClients() eval.Result {
 	scorer := eval.ScorerFunc(func(u int, items []int) []float64 {
 		return t.clients[u].model.ScoreItems(0, items)
 	})
-	return eval.RankingWorkers(scorer, t.split, t.cfg.EvalK, t.cfg.EvalWorkers)
+	return t.splitEvaluator().Rank(scorer, t.cfg.EvalK, t.cfg.EvalWorkers)
 }
 
 // String summarises a round for logs.

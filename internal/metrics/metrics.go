@@ -128,6 +128,12 @@ func AUC(posScores, negScores []float64) float64 {
 
 // TopK returns the indices of the k largest scores, highest first. Ties
 // break toward the lower index for determinism.
+//
+// It stable-sorts a full O(n) index permutation, which makes it the reference
+// semantics of the selection engine: TopKInto and TopKSelector produce the
+// exact same index order in O(n log k) without materialising the permutation.
+// Hot paths should prefer those; TopK remains for small inputs and as the
+// baseline the select-vs-sort comparisons measure against.
 func TopK(scores []float64, k int) []int {
 	idx := make([]int, len(scores))
 	for i := range idx {
@@ -138,6 +144,169 @@ func TopK(scores []float64, k int) []int {
 		k = len(idx)
 	}
 	return idx[:k]
+}
+
+// TopKInto returns the indices of the k largest scores ordered
+// (score desc, index asc) — bitwise-identical to TopK's stable-sort order —
+// selecting through a bounded min-heap: O(n log k) instead of O(n log n),
+// with zero allocations once dst has capacity k. dst's storage is reused
+// when possible.
+func TopKInto(dst []int, scores []float64, k int) []int {
+	if k > len(scores) {
+		k = len(scores)
+	}
+	if k <= 0 {
+		return dst[:0]
+	}
+	// heap[i] is an index into scores; the root is the worst kept candidate:
+	// lower score, or equal score and larger index.
+	worse := func(a, b int) bool {
+		if scores[a] != scores[b] {
+			return scores[a] < scores[b]
+		}
+		return a > b
+	}
+	if cap(dst) < k {
+		dst = make([]int, k)
+	}
+	heap := dst[:k]
+	siftDown := func(i, size int) {
+		for {
+			l, r := 2*i+1, 2*i+2
+			m := i
+			if l < size && worse(heap[l], heap[m]) {
+				m = l
+			}
+			if r < size && worse(heap[r], heap[m]) {
+				m = r
+			}
+			if m == i {
+				return
+			}
+			heap[i], heap[m] = heap[m], heap[i]
+			i = m
+		}
+	}
+	for i := range heap {
+		heap[i] = i
+	}
+	for i := k/2 - 1; i >= 0; i-- {
+		siftDown(i, k)
+	}
+	for i := k; i < len(scores); i++ {
+		if worse(heap[0], i) {
+			heap[0] = i
+			siftDown(0, k)
+		}
+	}
+	// Heapsort the kept indices: popping the min-heap's root (the worst
+	// remaining candidate) to the shrinking tail leaves the slice ordered
+	// best-first — (score desc, index asc) — allocation-free.
+	for end := k - 1; end > 0; end-- {
+		heap[0], heap[end] = heap[end], heap[0]
+		siftDown(0, end)
+	}
+	return heap
+}
+
+// TopKSelector is the streaming half of the selection engine: scores are
+// pushed one (index, score) pair at a time — e.g. chunk-wise from a batched
+// scorer that never materialises the full score vector — and the selector
+// keeps the k best in a bounded min-heap. Into then yields the indices in
+// (score desc, index asc) order, bitwise-identical to TopK over the full
+// vector. Because (score, index) is a strict total order, the selected set
+// and its final order do not depend on push order.
+//
+// The zero value is unusable: call Reset(k) before each selection.
+type TopKSelector struct {
+	k     int
+	idx   []int
+	score []float64
+}
+
+// Reset prepares the selector for a fresh selection of up to k indices,
+// retaining the previous selection's storage.
+func (s *TopKSelector) Reset(k int) {
+	s.k = k
+	s.idx = s.idx[:0]
+	s.score = s.score[:0]
+}
+
+// worse reports whether heap slot a holds a worse candidate than slot b:
+// lower score, or equal score and larger index.
+func (s *TopKSelector) worse(a, b int) bool {
+	if s.score[a] != s.score[b] {
+		return s.score[a] < s.score[b]
+	}
+	return s.idx[a] > s.idx[b]
+}
+
+func (s *TopKSelector) swap(a, b int) {
+	s.idx[a], s.idx[b] = s.idx[b], s.idx[a]
+	s.score[a], s.score[b] = s.score[b], s.score[a]
+}
+
+func (s *TopKSelector) siftDown(i, size int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < size && s.worse(l, m) {
+			m = l
+		}
+		if r < size && s.worse(r, m) {
+			m = r
+		}
+		if m == i {
+			return
+		}
+		s.swap(i, m)
+		i = m
+	}
+}
+
+// Push offers one (index, score) pair. Indices must be distinct within a
+// selection; scores may repeat freely.
+func (s *TopKSelector) Push(i int, score float64) {
+	if len(s.idx) < s.k {
+		s.idx = append(s.idx, i)
+		s.score = append(s.score, score)
+		for c := len(s.idx) - 1; c > 0; {
+			p := (c - 1) / 2
+			if !s.worse(c, p) {
+				break
+			}
+			s.swap(c, p)
+			c = p
+		}
+		return
+	}
+	if s.k <= 0 {
+		return
+	}
+	// Keep the newcomer only if it beats the worst kept candidate (the root):
+	// higher score, or equal score and smaller index.
+	if score < s.score[0] || (score == s.score[0] && i > s.idx[0]) {
+		return
+	}
+	s.idx[0], s.score[0] = i, score
+	s.siftDown(0, s.k)
+}
+
+// Into writes the selected indices into dst (reusing its storage when it has
+// capacity) ordered (score desc, index asc). It consumes the selection: call
+// Reset before pushing again.
+func (s *TopKSelector) Into(dst []int) []int {
+	n := len(s.idx)
+	for end := n - 1; end > 0; end-- {
+		s.swap(0, end)
+		s.siftDown(0, end)
+	}
+	if cap(dst) < n {
+		dst = make([]int, n)
+	}
+	dst = dst[:n]
+	copy(dst, s.idx)
+	return dst
 }
 
 // RankEval aggregates Recall@K and NDCG@K across users.

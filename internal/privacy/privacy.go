@@ -142,7 +142,9 @@ func TopGuessAttack(preds []comm.Prediction, posFraction float64) map[int]bool {
 		scores[i] = p.Score
 	}
 	guessed := map[int]bool{}
-	for _, idx := range metrics.TopK(scores, n) {
+	// The guessed set is order-insensitive, so the bounded-heap selection is a
+	// drop-in for the full sort (identical indices, O(n log k)).
+	for _, idx := range metrics.TopKInto(nil, scores, n) {
 		guessed[preds[idx].Item] = true
 	}
 	return guessed
