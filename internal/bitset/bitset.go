@@ -43,6 +43,12 @@ func (s *Set) Reset() {
 	}
 }
 
+// Words exposes the set's backing words (64 elements per word, bit i of word
+// w is element w*64+i). Read-only: callers must not modify the slice. It
+// exists so complement walks (internal/candset) can enumerate non-members a
+// word at a time instead of probing every element.
+func (s *Set) Words() []uint64 { return s.words }
+
 // ForEach calls fn for every element in ascending order.
 func (s *Set) ForEach(fn func(i int)) {
 	for wi, w := range s.words {

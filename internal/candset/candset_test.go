@@ -1,0 +1,144 @@
+package candset
+
+import (
+	"reflect"
+	"testing"
+
+	"ptffedrec/internal/bitset"
+	"ptffedrec/internal/rng"
+)
+
+// naiveComplement is the reference the word walk must match: probe every
+// element of the universe against the set.
+func naiveComplement(s *bitset.Set, n int) []int32 {
+	var out []int32
+	for v := 0; v < n; v++ {
+		if !s.Contains(v) {
+			out = append(out, int32(v))
+		}
+	}
+	return out
+}
+
+func TestAppendComplementMatchesWalk(t *testing.T) {
+	s := rng.New(7).Derive("candset")
+	for _, n := range []int{1, 63, 64, 65, 128, 1000} {
+		for trial := 0; trial < 20; trial++ {
+			set := bitset.New(n)
+			k := s.Intn(n + 1)
+			for _, v := range s.SampleInts(n, k) {
+				set.Add(v)
+			}
+			got := AppendComplement(nil, set, n)
+			want := naiveComplement(set, n)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("n=%d trial=%d: word walk %v != probe walk %v", n, trial, got, want)
+			}
+		}
+	}
+}
+
+// FuzzAppendComplementMatchesWalk pins the dispersal engine's eligibility
+// contract: the cache-served eligible set (the bitset's word-walk complement)
+// must equal the naive item-universe walk for any upload pattern.
+func FuzzAppendComplementMatchesWalk(f *testing.F) {
+	f.Add(uint64(1), 100, 10)
+	f.Add(uint64(2), 64, 64)
+	f.Add(uint64(3), 1, 0)
+	f.Add(uint64(4), 129, 1)
+	f.Fuzz(func(t *testing.T, seed uint64, n, k int) {
+		if n <= 0 || n > 4096 {
+			t.Skip()
+		}
+		if k < 0 {
+			k = -k
+		}
+		if k > n {
+			k = n
+		}
+		set := bitset.New(n)
+		s := rng.New(seed).Derive("fuzz")
+		for _, v := range s.SampleInts(n, k) {
+			set.Add(v)
+		}
+		got := AppendComplement(nil, set, n)
+		want := naiveComplement(set, n)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("seed=%d n=%d k=%d: word walk != probe walk", seed, n, k)
+		}
+	})
+}
+
+func TestAppendComplementSorted(t *testing.T) {
+	got := AppendComplementSorted[int32](nil, 6, []int{1, 4})
+	want := []int32{0, 2, 3, 5}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("AppendComplementSorted = %v, want %v", got, want)
+	}
+	gotInt := AppendComplementSorted[int](nil, 3, nil)
+	if !reflect.DeepEqual(gotInt, []int{0, 1, 2}) {
+		t.Fatalf("empty exclusion: %v", gotInt)
+	}
+	if out := AppendComplementSorted[int]([]int{9}, 2, []int{0, 1}); !reflect.DeepEqual(out, []int{9}) {
+		t.Fatalf("full exclusion should append nothing: %v", out)
+	}
+}
+
+func TestAppendRangeAndWiden(t *testing.T) {
+	r := AppendRange(nil, 4)
+	if !reflect.DeepEqual(r, []int32{0, 1, 2, 3}) {
+		t.Fatalf("AppendRange = %v", r)
+	}
+	w := Widen(make([]int, 0, 1), r)
+	if !reflect.DeepEqual(w, []int{0, 1, 2, 3}) {
+		t.Fatalf("Widen = %v", w)
+	}
+	// Capacity reuse: a big-enough dst must be reused, not reallocated.
+	buf := make([]int, 8)
+	w2 := Widen(buf, r)
+	if &w2[0] != &buf[0] || len(w2) != 4 {
+		t.Fatal("Widen did not reuse dst storage")
+	}
+}
+
+// TestBuildPackedWorkerInvariance pins the cold build's determinism: the
+// packed layout and every list are identical for any worker count.
+func TestBuildPackedWorkerInvariance(t *testing.T) {
+	const n = 137
+	sizes := make([]int, n)
+	s := rng.New(3).Derive("sizes")
+	for i := range sizes {
+		sizes[i] = s.Intn(50)
+	}
+	build := func(workers int) *Packed {
+		return BuildPacked(n, workers,
+			func(i int) int { return sizes[i] },
+			func(i int, dst []int32) {
+				for j := range dst {
+					dst[j] = int32(i*1000 + j)
+				}
+			})
+	}
+	ref := build(1)
+	if ref.Lists() != n {
+		t.Fatalf("Lists = %d, want %d", ref.Lists(), n)
+	}
+	for _, workers := range []int{2, 3, 8} {
+		got := build(workers)
+		if !reflect.DeepEqual(got, ref) {
+			t.Fatalf("workers=%d: packed cache differs from serial build", workers)
+		}
+	}
+	total := 0
+	for _, sz := range sizes {
+		total += sz
+	}
+	if ref.TotalLen() != total {
+		t.Fatalf("TotalLen = %d, want %d", ref.TotalLen(), total)
+	}
+	for i := 0; i < n; i++ {
+		if len(ref.List(i)) != sizes[i] {
+			t.Fatalf("list %d has %d entries, want %d", i, len(ref.List(i)), sizes[i])
+		}
+	}
+}

@@ -20,6 +20,7 @@
 package eval
 
 import (
+	"ptffedrec/internal/candset"
 	"ptffedrec/internal/data"
 	"ptffedrec/internal/metrics"
 	"ptffedrec/internal/models"
@@ -107,19 +108,18 @@ type Result struct {
 // one Evaluator can serve concurrent Rank calls (the federated trainer holds
 // one across rounds and shares it between the server and client evaluations).
 //
-// Candidates are stored as int32 in one contiguous backing array: four bytes
-// per (user, candidate) pair, ≈760 MB at the full 50k-user × 4000-item
-// profile and ≈20 MB at the default small profile — the memory the cache
-// trades for never rebuilding candidate lists or probing the train mask
-// again. One-shot callers (Ranking, RankingWorkers) use a streaming
-// evaluator instead, which rebuilds each user's list in per-worker scratch
-// and allocates no cache at all.
+// Candidates are stored in a candset.Packed — int32 in one contiguous
+// backing array, four bytes per (user, candidate) pair, ≈760 MB at the full
+// 50k-user × 4000-item profile and ≈20 MB at the default small profile — the
+// memory the cache trades for never rebuilding candidate lists or probing
+// the train mask again. One-shot callers (Ranking, RankingWorkers) use a
+// streaming evaluator instead, which rebuilds each user's list in per-worker
+// scratch and allocates no cache at all.
 type Evaluator struct {
 	sp *data.Split
 
-	users   []int   // users with held-out items, ascending
-	candOff []int   // candOff[i]:candOff[i+1] bounds users[i]'s candidates
-	cand    []int32 // concatenated per-user candidate lists, ascending; nil when streaming
+	users []int           // users with held-out items, ascending
+	cache *candset.Packed // per-user candidate lists, ascending; nil when streaming
 
 	// SortSelect forces ranking through the legacy sort path — the full
 	// score vector materialised, then metrics.TopK's stable sort over an
@@ -130,21 +130,26 @@ type Evaluator struct {
 	SortSelect bool
 }
 
-// NewEvaluator builds the candidate cache for a split. Each user's candidate
-// list is the ascending complement of their training positives, computed with
-// one merge walk over the sorted train list.
+// NewEvaluator builds the candidate cache for a split with GOMAXPROCS
+// workers. Each user's candidate list is the ascending complement of their
+// training positives, computed with one merge walk over the sorted train
+// list.
 func NewEvaluator(sp *data.Split) *Evaluator {
+	return NewEvaluatorWorkers(sp, 0)
+}
+
+// NewEvaluatorWorkers is NewEvaluator with an explicit worker count
+// (<= 0 means GOMAXPROCS) for the cold cache build: the packed layout is
+// fixed by a size prefix-sum before any list is filled and each user's list
+// is written by exactly one goroutine into its own range, so the cache is
+// identical for every worker count.
+func NewEvaluatorWorkers(sp *data.Split, workers int) *Evaluator {
 	e := newStreamingEvaluator(sp)
-	total := 0
-	for _, u := range e.users {
-		total += sp.NumItems - len(sp.Train[u])
-	}
-	e.candOff = make([]int, len(e.users)+1)
-	e.cand = make([]int32, 0, total)
-	for i, u := range e.users {
-		e.cand = appendCandidates(e.cand, sp, u)
-		e.candOff[i+1] = len(e.cand)
-	}
+	e.cache = candset.BuildPacked(len(e.users), par.Workers(workers),
+		func(i int) int { return sp.NumItems - len(sp.Train[e.users[i]]) },
+		func(i int, dst []int32) {
+			candset.AppendComplementSorted(dst[:0], sp.NumItems, sp.Train[e.users[i]])
+		})
 	return e
 }
 
@@ -170,23 +175,6 @@ func newStreamingEvaluator(sp *data.Split) *Evaluator {
 		}
 	}
 	return e
-}
-
-// appendCandidates appends user u's candidate items (the ascending complement
-// of their sorted training positives) to dst — the one definition of the
-// candidate set, shared by the cache build (int32) and the streaming
-// per-worker rebuild (int).
-func appendCandidates[T int | int32](dst []T, sp *data.Split, u int) []T {
-	train := sp.Train[u]
-	ti := 0
-	for v := 0; v < sp.NumItems; v++ {
-		if ti < len(train) && train[ti] == v {
-			ti++
-			continue
-		}
-		dst = append(dst, T(v))
-	}
-	return dst
 }
 
 // Users returns how many users the evaluator covers.
@@ -248,16 +236,12 @@ func (e *Evaluator) Rank(s Scorer, k, workers int) Result {
 func (e *Evaluator) evalUser(s Scorer, sc *scratch, i, k int) (recall, ndcg float64) {
 	u := e.users[i]
 	var cand []int
-	if e.cand != nil {
-		cand32 := e.cand[e.candOff[i]:e.candOff[i+1]]
-		cand = sc.cand[:len(cand32)]
-		for j, v := range cand32 {
-			cand[j] = int(v)
-		}
+	if e.cache != nil {
+		cand = candset.Widen(sc.cand, e.cache.List(i))
 	} else {
 		// Streaming evaluator: rebuild the candidate list in scratch with the
 		// same merge walk the cache build uses.
-		cand = appendCandidates(sc.cand[:0], e.sp, u)
+		cand = candset.AppendComplementSorted(sc.cand[:0], e.sp.NumItems, e.sp.Train[u])
 	}
 	var top []int
 	bs, fused := s.(BlockScorer)

@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"reflect"
 	"testing"
 
 	"ptffedrec/internal/data"
@@ -69,6 +70,26 @@ func TestEvaluatorReuseAcrossRounds(t *testing.T) {
 	}
 }
 
+// TestEvaluatorBuildWorkerInvariance pins the sharded cold build: the packed
+// candidate cache — layout and every list — is identical for any worker
+// count, and so are the metrics ranked from it.
+func TestEvaluatorBuildWorkerInvariance(t *testing.T) {
+	d := data.Generate(data.Tiny, 13)
+	sp := d.Split(rng.New(4), 0.2)
+	m := trainedModel(t, models.KindMF, sp)
+	ref := NewEvaluatorWorkers(sp, 1)
+	refRank := ref.Rank(m, 20, 1)
+	for _, workers := range []int{2, 3, 8} {
+		e := NewEvaluatorWorkers(sp, workers)
+		if !reflect.DeepEqual(e.cache, ref.cache) {
+			t.Fatalf("workers=%d: candidate cache differs from serial build", workers)
+		}
+		if got := e.Rank(m, 20, workers); got != refRank {
+			t.Fatalf("workers=%d: metrics %+v != serial %+v", workers, got, refRank)
+		}
+	}
+}
+
 // TestEvaluatorCandidatesExcludeTrain checks the cache against the mask it
 // replaced: every cached candidate list is exactly the ascending complement
 // of the user's training positives.
@@ -80,7 +101,7 @@ func TestEvaluatorCandidatesExcludeTrain(t *testing.T) {
 		t.Fatal("no users cached")
 	}
 	for i, u := range e.users {
-		cand := e.cand[e.candOff[i]:e.candOff[i+1]]
+		cand := e.cache.List(i)
 		if want := sp.NumItems - len(sp.Train[u]); len(cand) != want {
 			t.Fatalf("user %d: %d candidates, want %d", u, len(cand), want)
 		}

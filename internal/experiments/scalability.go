@@ -48,6 +48,18 @@ type ScalabilityRow struct {
 	ServerTrainSecs float64 `json:"server_train_secs"`
 	DisperseSecs    float64 `json:"disperse_secs"`
 
+	// Batched-vs-scalar dispersal comparison at this worker count, measured
+	// by fed.Trainer.BenchDispersal: repeated dispersal-only sweeps over
+	// every client on the frozen trained model, once through the round-scoped
+	// multi-user batched engine (shared eligibility cache + multi-user GEMM
+	// scoring) and once through the per-client scalar engine. The engines'
+	// outputs must be identical; the speedup is what the batched engine buys.
+	// Complementarily, the same training re-run end-to-end under
+	// Config.DisperseScalar must reproduce the history bit for bit.
+	DisperseBatchedSecs float64 `json:"disperse_batched_secs"`
+	DisperseScalarSecs  float64 `json:"disperse_scalar_secs"`
+	DisperseSpeedup     float64 `json:"disperse_speedup"`
+
 	// Speedups vs workers=1 for the two server-side hot paths the gradient
 	// workspace engine and the parallel CSR build attack.
 	ServerTrainSpeedup float64 `json:"server_train_speedup"`
@@ -175,7 +187,10 @@ func RunScalability(o Options) (*ScalabilityResult, error) {
 			return nil, fmt.Errorf("scalability: %w", err)
 		}
 		// Time the round engine and the evaluator separately so the report
-		// attributes speedup to the right path.
+		// attributes speedup to the right path. A forced GC before each timed
+		// segment keeps one segment's garbage from being collected on a later
+		// segment's clock — the paired engine comparisons below depend on it.
+		runtime.GC()
 		rounds := make([]fed.RoundStats, 0, wcfg.Rounds)
 		start := time.Now()
 		for round := 0; round < wcfg.Rounds; round++ {
@@ -208,20 +223,51 @@ func RunScalability(o Options) (*ScalabilityResult, error) {
 			res.Deterministic = false
 		}
 
+		// The dispersal engines head to head on the trained state: repeated
+		// dispersal-only sweeps keep the paired comparison off the round
+		// timers' noise floor, and the engines' outputs must be identical.
+		disperseBatchedSecs, disperseScalarSecs, disperseIdentical := tr.BenchDispersal(5)
+		if !disperseIdentical {
+			res.Deterministic = false
+		}
+
+		// And end-to-end, once per sweep (worker-count invariance is already
+		// pinned by the refRounds comparison below, so re-training per row
+		// would only double the sweep's wall-clock): the same training forced
+		// through the per-client scalar dispersal engine must reproduce the
+		// history bit for bit.
+		if len(res.Rows) == 0 {
+			scfg := wcfg
+			scfg.DisperseScalar = true
+			str, err := fed.NewTrainer(sp, scfg)
+			if err != nil {
+				return nil, fmt.Errorf("scalability: %w", err)
+			}
+			scalarRounds := make([]fed.RoundStats, 0, scfg.Rounds)
+			for round := 0; round < scfg.Rounds; round++ {
+				scalarRounds = append(scalarRounds, str.RunRound(round))
+			}
+			if !roundsEqual(rounds, scalarRounds) {
+				res.Deterministic = false
+			}
+		}
+
 		perRound := 1 / float64(cfg.Rounds)
 		row := ScalabilityRow{
-			Workers:         workers,
-			RoundSecs:       trainSecs * perRound,
-			EvalSecs:        evalSecs,
-			EvalScalarSecs:  evalScalarSecs,
-			EvalSortSecs:    evalSortSecs,
-			Recall:          ev.Recall,
-			NDCG:            ev.NDCG,
-			ClientSecs:      phases.ClientTrain * perRound,
-			AbsorbSecs:      phases.Absorb * perRound,
-			GraphSecs:       phases.GraphBuild * perRound,
-			ServerTrainSecs: phases.ServerTrain * perRound,
-			DisperseSecs:    phases.Disperse * perRound,
+			Workers:             workers,
+			RoundSecs:           trainSecs * perRound,
+			EvalSecs:            evalSecs,
+			EvalScalarSecs:      evalScalarSecs,
+			EvalSortSecs:        evalSortSecs,
+			Recall:              ev.Recall,
+			NDCG:                ev.NDCG,
+			ClientSecs:          phases.ClientTrain * perRound,
+			AbsorbSecs:          phases.Absorb * perRound,
+			GraphSecs:           phases.GraphBuild * perRound,
+			ServerTrainSecs:     phases.ServerTrain * perRound,
+			DisperseSecs:        phases.Disperse * perRound,
+			DisperseBatchedSecs: disperseBatchedSecs,
+			DisperseScalarSecs:  disperseScalarSecs,
 		}
 		if row.RoundSecs > 0 {
 			row.RoundsPerSec = 1 / row.RoundSecs
@@ -229,6 +275,9 @@ func RunScalability(o Options) (*ScalabilityResult, error) {
 		if row.EvalSecs > 0 {
 			row.BatchedEvalSpeedup = row.EvalScalarSecs / row.EvalSecs
 			row.SelectSpeedup = row.EvalSortSecs / row.EvalSecs
+		}
+		if row.DisperseBatchedSecs > 0 {
+			row.DisperseSpeedup = row.DisperseScalarSecs / row.DisperseBatchedSecs
 		}
 		if len(res.Rows) == 0 {
 			refRounds, refEval = rounds, ev
@@ -350,13 +399,15 @@ func (r *ScalabilityResult) Print(w io.Writer) {
 			row.Workers, row.RoundSecs, row.RoundsPerSec, row.RoundSpeedup, row.EvalSecs, row.EvalSpeedup,
 			row.EvalScalarSecs, row.BatchedEvalSpeedup, row.EvalSortSecs, row.SelectSpeedup)
 	}
-	fmt.Fprintln(w, "  per-phase (secs/round):")
-	fmt.Fprintf(w, "  %-8s %10s %10s %10s %12s %10s %12s %12s\n",
-		"workers", "client", "absorb", "graph", "server-sgd", "disperse", "sgd-spdup", "graph-spdup")
+	fmt.Fprintln(w, "  per-phase (secs/round) + dispersal engine sweeps (secs/sweep):")
+	fmt.Fprintf(w, "  %-8s %10s %10s %10s %12s %10s %15s %15s %15s %12s %12s\n",
+		"workers", "client", "absorb", "graph", "server-sgd", "disperse",
+		"disperse-batch", "disperse-scalar", "disperse-spdup", "sgd-spdup", "graph-spdup")
 	for _, row := range r.Rows {
-		fmt.Fprintf(w, "  %-8d %10.3f %10.3f %10.3f %12.3f %10.3f %11.2fx %11.2fx\n",
+		fmt.Fprintf(w, "  %-8d %10.3f %10.3f %10.3f %12.3f %10.3f %15.3f %15.3f %14.2fx %11.2fx %11.2fx\n",
 			row.Workers, row.ClientSecs, row.AbsorbSecs, row.GraphSecs,
-			row.ServerTrainSecs, row.DisperseSecs, row.ServerTrainSpeedup, row.GraphSpeedup)
+			row.ServerTrainSecs, row.DisperseSecs, row.DisperseBatchedSecs, row.DisperseScalarSecs,
+			row.DisperseSpeedup, row.ServerTrainSpeedup, row.GraphSpeedup)
 	}
 	fmt.Fprintf(w, "  eval+dispersal tail: sequential %.3fs, overlapped %.3fs (%.2fx)\n",
 		r.OverlapSequentialSecs, r.OverlapConcurrentSecs, r.OverlapSpeedup)

@@ -46,6 +46,10 @@ func TestRunScalability(t *testing.T) {
 		if row.EvalSortSecs <= 0 || row.SelectSpeedup <= 0 {
 			t.Fatalf("row %+v missing select-vs-sort eval comparison", row)
 		}
+		// And the dispersal engine's batched-vs-scalar comparison.
+		if row.DisperseBatchedSecs <= 0 || row.DisperseScalarSecs <= 0 || row.DisperseSpeedup <= 0 {
+			t.Fatalf("row %+v missing batched-vs-scalar dispersal comparison", row)
+		}
 	}
 	if res.OverlapSequentialSecs <= 0 || res.OverlapConcurrentSecs <= 0 || res.OverlapSpeedup <= 0 {
 		t.Fatalf("missing eval+dispersal overlap measurement: %+v", res)

@@ -33,6 +33,12 @@ type Client struct {
 	// bitset over the item universe, allocated on the client's first upload
 	// and reset-and-refilled every round.
 	lastUpload *bitset.Set
+
+	// uploadGen counts lastUpload refills. The dispersal engine's eligibility
+	// cache keys its per-client invalidation on it: a cached eligible set is
+	// served as long as the generation it was built from is still current,
+	// and rebuilt from the bitset otherwise.
+	uploadGen uint64
 }
 
 // newClient builds the client's local model. Graph client models (Table VIII)
@@ -169,6 +175,7 @@ func (c *Client) buildUpload(negatives []int) []comm.Prediction {
 	for _, p := range preds {
 		c.lastUpload.Add(p.Item)
 	}
+	c.uploadGen++
 	return preds
 }
 

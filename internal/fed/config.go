@@ -109,6 +109,14 @@ type Config struct {
 	// pool.
 	TrainWorkers int
 
+	// DisperseScalar forces dispersal through the per-client scalar engine
+	// instead of the round-scoped multi-user batched engine (shared
+	// eligibility cache + multi-user GEMM scoring). Results are
+	// bitwise-identical either way — the knob exists as the timing baseline
+	// for the scalability experiment's disperse-scalar/disperse-spdup columns
+	// and for invariance tests.
+	DisperseScalar bool
+
 	// Faults optionally injects client dropouts and truncated uploads to
 	// exercise the protocol's robustness (zero value = no faults).
 	Faults FaultPlan

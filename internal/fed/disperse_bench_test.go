@@ -1,0 +1,75 @@
+package fed
+
+import (
+	"testing"
+
+	"ptffedrec/internal/data"
+	"ptffedrec/internal/models"
+	"ptffedrec/internal/rng"
+)
+
+// benchDisperseTrainer builds a mid-size LightGCN-server trainer with one
+// round of real uploads, mirroring the scalability profile's dispersal shape.
+func benchDisperseTrainer(b *testing.B) *Trainer {
+	b.Helper()
+	p := data.Profile{Name: "bench-disperse", NumUsers: 6000, NumItems: 900,
+		Interactions: 90000, ZipfExponent: 1.05, Clusters: 8, ClusterBias: 0.7, MinPerUser: 5}
+	d := data.Generate(p, 5)
+	sp := d.Split(rng.New(1), 0.2)
+	cfg := DefaultConfig(models.KindLightGCN)
+	cfg.ClientModel = models.KindMF
+	cfg.Dim = 16
+	cfg.Rounds = 2
+	cfg.ClientEpochs = 1
+	cfg.ServerEpochs = 1
+	tr, err := NewTrainer(sp, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr.RunRound(0)
+	tr.RunRound(1)
+	tr.EvaluateServer()
+	return tr
+}
+
+// BenchmarkDisperse measures the dispersal engines head to head on the same
+// warmed server state: the per-client scalar path against the round-scoped
+// multi-user batched path. Both iterate every client serially, so the ratio
+// is the single-worker engine gain the scalability experiment's
+// disperse-spdup column reports end-to-end.
+func BenchmarkDisperse(b *testing.B) {
+	b.Run("scalar", func(b *testing.B) {
+		tr := benchDisperseTrainer(b)
+		plan := tr.server.buildDispersalPlan()
+		scratch := &disperseScratch{}
+		b.ResetTimer()
+		for n := 0; n < b.N; n++ {
+			// conf+hard consumes no randomness, so the trainer passes no
+			// stream; the benchmark mirrors that.
+			for _, c := range tr.clients {
+				tr.server.disperse(c, nil, plan, scratch)
+			}
+		}
+	})
+	b.Run("batched", func(b *testing.B) {
+		tr := benchDisperseTrainer(b)
+		plan := tr.server.buildDispersalPlan()
+		mbs := tr.server.model.(models.MultiBlockScorer)
+		sc := newDisperseBatchScratch()
+		b.ResetTimer()
+		for n := 0; n < b.N; n++ {
+			for lo := 0; lo < len(tr.clients); lo += disperseBatchClients {
+				hi := lo + disperseBatchClients
+				if hi > len(tr.clients) {
+					hi = len(tr.clients)
+				}
+				slots := sc.slots[:hi-lo]
+				for i := lo; i < hi; i++ {
+					slots[i-lo].c = tr.clients[i]
+					slots[i-lo].ds = nil
+				}
+				tr.server.disperseBatch(mbs, slots, plan, sc)
+			}
+		}
+	})
+}

@@ -1,0 +1,170 @@
+package fed
+
+import (
+	"reflect"
+	"testing"
+
+	"ptffedrec/internal/bitset"
+	"ptffedrec/internal/models"
+)
+
+// naiveEligible is the reference definition the eligibility cache must
+// reproduce: walk the item universe probing the exclusion bitset — exactly
+// the scalar dispersal path's construction.
+func naiveEligible(dst []int, numItems int, lastUpload *bitset.Set) []int {
+	dst = dst[:0]
+	for v := 0; v < numItems; v++ {
+		if lastUpload != nil && lastUpload.Contains(v) {
+			continue
+		}
+		dst = append(dst, v)
+	}
+	return dst
+}
+
+// multiuserConfig is the invariance suite's base: small enough that the full
+// kind × arm × worker sweep stays fast (MF clients keep local training
+// cheap; dispersal coverage does not depend on the client model), adversarial
+// enough to exercise conf/hard collisions and the fill backstop.
+func multiuserConfig(server models.Kind, mode DisperseMode) Config {
+	cfg := fastConfig(server)
+	cfg.ClientModel = models.KindMF
+	cfg.Rounds = 2
+	cfg.EvalEvery = 1
+	cfg.Disperse = mode
+	cfg.Mu = 0.4
+	return cfg
+}
+
+// TestDisperseBatchedInvariance is the engine's protocol-level contract: for
+// every server model kind, every ablation arm, and workers {1, 2, 8}, the
+// multi-user batched dispersal engine produces a training history and final
+// metrics bitwise-identical to the per-client scalar path.
+func TestDisperseBatchedInvariance(t *testing.T) {
+	kinds := []models.Kind{models.KindMF, models.KindNeuMF, models.KindNGCF, models.KindLightGCN}
+	modes := []DisperseMode{DisperseConfHard, DisperseNoHard, DisperseNoConf, DisperseAllRandom}
+	if testing.Short() {
+		kinds = []models.Kind{models.KindNeuMF, models.KindLightGCN}
+		modes = []DisperseMode{DisperseConfHard, DisperseAllRandom}
+	}
+	sp := tinySplit(t)
+	for _, server := range kinds {
+		for _, mode := range modes {
+			cfg := multiuserConfig(server, mode)
+
+			scfg := cfg
+			scfg.DisperseScalar = true
+			scfg.Workers, scfg.EvalWorkers = 1, 1
+			ref, err := NewTrainer(sp, scfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			refHist, err := ref.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			for _, workers := range []int{1, 2, 8} {
+				wcfg := cfg
+				wcfg.Workers, wcfg.EvalWorkers = workers, workers
+				tr, err := NewTrainer(sp, wcfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				h, err := tr.Run()
+				if err != nil {
+					t.Fatal(err)
+				}
+				requireEqualHistories(t, string(server)+"/"+string(mode)+" batched", refHist, h)
+			}
+		}
+	}
+}
+
+// TestDisperseBatchedMultiChunk forces the batched hard half through several
+// score chunks (and ragged batch tails) on the tiny catalogue, pinning that
+// chunk boundaries and batch grouping never leak into results.
+func TestDisperseBatchedMultiChunk(t *testing.T) {
+	defer func(old int) { disperseScoreChunk = old }(disperseScoreChunk)
+	disperseScoreChunk = 16 // Tiny has 60 items -> 4 chunks, last one ragged
+
+	sp := tinySplit(t)
+	cfg := multiuserConfig(models.KindLightGCN, DisperseConfHard)
+
+	scfg := cfg
+	scfg.DisperseScalar = true
+	ref, err := NewTrainer(sp, scfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refHist, err := ref.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := NewTrainer(sp, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := tr.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireEqualHistories(t, "multi-chunk batched", refHist, h)
+}
+
+// TestEligCacheMatchesNaiveWalk pins the eligibility cache's contract on
+// live protocol state: after real rounds, every client's cache-served
+// eligible set equals the scalar path's item-universe walk, cache hits serve
+// the identical list without rebuilding, and a new upload invalidates.
+func TestEligCacheMatchesNaiveWalk(t *testing.T) {
+	sp := tinySplit(t)
+	cfg := multiuserConfig(models.KindNeuMF, DisperseConfHard)
+	tr, err := NewTrainer(sp, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.RunRound(0)
+
+	sv := tr.Server()
+	var walk []int
+	for _, c := range tr.Clients() {
+		got := sv.elig.eligible(c, sp.NumItems)
+		walk = naiveEligible(walk, sp.NumItems, c.lastUpload)
+		if len(got) != len(walk) {
+			t.Fatalf("client %d: cache served %d eligible, walk found %d", c.ID, len(got), len(walk))
+		}
+		for i, v := range got {
+			if int(v) != walk[i] {
+				t.Fatalf("client %d: eligible[%d] = %d, walk says %d", c.ID, i, v, walk[i])
+			}
+		}
+		// Cache hit: same generation must serve the same backing array.
+		again := sv.elig.eligible(c, sp.NumItems)
+		if len(again) > 0 && &again[0] != &got[0] {
+			t.Fatalf("client %d: cache rebuilt on unchanged generation", c.ID)
+		}
+	}
+
+	// Another round re-uploads: generations move, entries rebuild, and the
+	// walk equivalence still holds.
+	gen0 := tr.Clients()[0].uploadGen
+	tr.RunRound(1)
+	c := tr.Clients()[0]
+	if c.uploadGen == gen0 {
+		t.Fatal("upload generation did not advance with a new upload")
+	}
+	got := sv.elig.eligible(c, sp.NumItems)
+	walk = naiveEligible(walk, sp.NumItems, c.lastUpload)
+	if !reflect.DeepEqual(candsetWiden(got), walk) {
+		t.Fatalf("client %d after round 1: cache %v != walk %v", c.ID, got, walk)
+	}
+}
+
+// candsetWiden converts an int32 list to []int for DeepEqual comparisons.
+func candsetWiden(xs []int32) []int {
+	out := make([]int, len(xs))
+	for i, v := range xs {
+		out[i] = int(v)
+	}
+	return out
+}

@@ -31,6 +31,16 @@ type Server struct {
 	// server's entire view of the interaction structure, from which it
 	// rebuilds its graph every round.
 	latestUpload map[int][]comm.Prediction
+
+	// elig is the dispersal engine's shared eligibility cache: one
+	// int32-packed eligible list per client, invalidated by the client's
+	// upload generation and rebuilt with a word walk over the lastUpload
+	// bitset. Only the batched dispersal path reads it.
+	elig *eligCache
+
+	// ident is the identity item list 0..numItems-1 — the shared candidate
+	// block the batched dispersal engine slices score chunks from.
+	ident []int
 }
 
 // newServer builds the hidden server model.
@@ -50,6 +60,10 @@ func newServer(numUsers, numItems int, cfg *Config, parent *rng.Stream) (*Server
 	if err != nil {
 		return nil, fmt.Errorf("fed: server: %w", err)
 	}
+	ident := make([]int, numItems)
+	for v := range ident {
+		ident[v] = v
+	}
 	return &Server{
 		model:        m,
 		cfg:          cfg,
@@ -58,6 +72,8 @@ func newServer(numUsers, numItems int, cfg *Config, parent *rng.Stream) (*Server
 		numItems:     numItems,
 		itemFreq:     make([]int, numItems),
 		latestUpload: map[int][]comm.Prediction{},
+		elig:         newEligCache(numUsers),
+		ident:        ident,
 	}, nil
 }
 
@@ -264,8 +280,7 @@ func (sv *Server) buildDispersalPlan() *dispersalPlan {
 	if sv.cfg.Alpha <= 0 {
 		return plan
 	}
-	nConf := int(sv.cfg.Mu * float64(sv.cfg.Alpha))
-	confRandom := sv.cfg.Disperse == DisperseNoConf || sv.cfg.Disperse == DisperseAllRandom
+	nConf, _, confRandom, _ := disperseArms(sv.cfg)
 	if nConf > 0 && !confRandom {
 		rank := make([]int, sv.numItems)
 		for i := range rank {
@@ -306,11 +321,7 @@ func (sv *Server) disperse(c *Client, ds *rng.Stream, plan *dispersalPlan, scrat
 	}
 	excluded := func(v int) bool { return c.lastUpload != nil && c.lastUpload.Contains(v) }
 
-	nConf := int(sv.cfg.Mu * float64(alpha))
-	nHard := alpha - nConf
-
-	confRandom := sv.cfg.Disperse == DisperseNoConf || sv.cfg.Disperse == DisperseAllRandom
-	hardRandom := sv.cfg.Disperse == DisperseNoHard || sv.cfg.Disperse == DisperseAllRandom
+	nConf, nHard, confRandom, hardRandom := disperseArms(sv.cfg)
 
 	// The random ablation arms and the hard half both need the eligible set
 	// as a slice; the pure-confidence path gets by on the bitset alone.
@@ -329,47 +340,6 @@ func (sv *Server) disperse(c *Client, ds *rng.Stream, plan *dispersalPlan, scrat
 	}
 
 	items := make([]int, 0, alpha)
-	chosen := func(v int) bool {
-		for _, w := range items {
-			if w == v {
-				return true
-			}
-		}
-		return false
-	}
-	// pick moves up to n non-chosen items from ranked into D̃ᵢ and returns
-	// how many slots it could not fill.
-	pick := func(ranked []int, n int) int {
-		for _, v := range ranked {
-			if n == 0 {
-				break
-			}
-			if chosen(v) {
-				continue
-			}
-			items = append(items, v)
-			n--
-		}
-		return n
-	}
-	// fill backstops the random ablation arms: an oversample (2×nConf /
-	// 3×nHard draws) can collide with already-chosen items and leave pick
-	// short, which used to under-fill D̃ᵢ below α. A deterministic walk of the
-	// remaining eligible items tops the set back up to min(α, |eligible|)
-	// without consuming the client's random stream, so worker-count
-	// invariance is preserved.
-	fill := func(n int) {
-		for _, v := range eligible {
-			if n == 0 {
-				break
-			}
-			if chosen(v) {
-				continue
-			}
-			items = append(items, v)
-			n--
-		}
-	}
 
 	// Confidence half: highest update frequency, via the round-scoped global
 	// ranking filtered by this client's eligibility.
@@ -379,19 +349,11 @@ func (sv *Server) disperse(c *Client, ds *rng.Stream, plan *dispersalPlan, scrat
 			if k > len(eligible) {
 				k = len(eligible)
 			}
-			fill(pick(rng.SampleSlice(ds, eligible, k), nConf))
+			var unfilled int
+			items, unfilled = pickItems(items, rng.SampleSlice(ds, eligible, k), nConf)
+			items = fillItems(items, eligible, unfilled)
 		} else {
-			n := nConf
-			for _, v := range plan.confRank {
-				if n == 0 {
-					break
-				}
-				if excluded(v) {
-					continue
-				}
-				items = append(items, v)
-				n--
-			}
+			items = confWalkItems(items, plan.confRank, excluded, nConf)
 		}
 	}
 
@@ -409,7 +371,9 @@ func (sv *Server) disperse(c *Client, ds *rng.Stream, plan *dispersalPlan, scrat
 			if k > len(eligible) {
 				k = len(eligible)
 			}
-			fill(pick(rng.SampleSlice(ds, eligible, k), nHard))
+			var unfilled int
+			items, unfilled = pickItems(items, rng.SampleSlice(ds, eligible, k), nHard)
+			items = fillItems(items, eligible, unfilled)
 		} else {
 			kSel := nHard + len(items)
 			if bs, ok := sv.model.(models.BlockScorer); ok {
@@ -423,7 +387,7 @@ func (sv *Server) disperse(c *Client, ds *rng.Stream, plan *dispersalPlan, scrat
 				scratch.scores = sv.scoreItems(scratch.scores, c.ID, eligible)
 				scratch.top = topKByScore(scratch.top, eligible, scratch.scores, kSel)
 			}
-			pick(scratch.top, nHard)
+			items, _ = pickItems(items, scratch.top, nHard)
 		}
 	}
 

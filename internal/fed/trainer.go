@@ -2,11 +2,14 @@ package fed
 
 import (
 	"fmt"
+	"runtime"
+	"sync/atomic"
 	"time"
 
 	"ptffedrec/internal/comm"
 	"ptffedrec/internal/data"
 	"ptffedrec/internal/eval"
+	"ptffedrec/internal/models"
 	"ptffedrec/internal/par"
 	"ptffedrec/internal/privacy"
 	"ptffedrec/internal/rng"
@@ -279,13 +282,56 @@ func (t *Trainer) runRound(round int, withEval bool) (RoundStats, eval.Result) {
 	dispersed := make([]int, len(results))
 	if len(results) > 0 {
 		plan := t.server.buildDispersalPlan()
+		// The batched engine needs the multi-user scoring contract; the
+		// scalar per-client path is the fallback (and, via DisperseScalar,
+		// the timing baseline). Both produce bitwise-identical dispersals.
+		mbs, batched := t.server.model.(models.MultiBlockScorer)
+		batched = batched && !t.cfg.DisperseScalar && t.cfg.Alpha > 0
+		// Per-client streams are only consumed by the random ablation arms,
+		// and deriving one costs a full generator seeding — so the
+		// deterministic conf+hard arm skips them entirely, and the random
+		// arms derive the round-level parent once. Both are bitwise-neutral:
+		// derivation is a pure function of the parent's immutable seed (safe
+		// to share across workers), and an unused stream influences nothing.
+		disperseStreams := t.disperseNeedsStreams()
+		var roundStream *rng.Stream
+		if disperseStreams {
+			roundStream = t.root.DeriveN("disperse", round)
+		}
+		clientStream := func(id int) *rng.Stream {
+			if !disperseStreams {
+				return nil
+			}
+			return roundStream.DeriveN("client", id)
+		}
 		chunk := (len(results) + workers - 1) / workers
 		par.ForChunks(len(results), chunk, workers, func(lo, hi int) {
+			if batched {
+				sc := newDisperseBatchScratch()
+				for b := lo; b < hi; b += disperseBatchClients {
+					be := b + disperseBatchClients
+					if be > hi {
+						be = hi
+					}
+					slots := sc.slots[:be-b]
+					for i := b; i < be; i++ {
+						r := results[i]
+						slots[i-b].c = r.client
+						slots[i-b].ds = clientStream(r.client.ID)
+					}
+					t.server.disperseBatch(mbs, slots, plan, sc)
+					for i := b; i < be; i++ {
+						preds, nBytes := t.encodeForWire(slots[i-b].preds)
+						results[i].client.receiveDispersal(preds)
+						dispersed[i] = nBytes
+					}
+				}
+				return
+			}
 			scratch := &disperseScratch{}
 			for i := lo; i < hi; i++ {
 				r := results[i]
-				ds := t.root.DeriveN("disperse", round).DeriveN("client", r.client.ID)
-				preds := t.server.disperse(r.client, ds, plan, scratch)
+				preds := t.server.disperse(r.client, clientStream(r.client.ID), plan, scratch)
 				preds, nBytes := t.encodeForWire(preds)
 				r.client.receiveDispersal(preds)
 				dispersed[i] = nBytes
@@ -304,6 +350,124 @@ func (t *Trainer) runRound(round int, withEval bool) (RoundStats, eval.Result) {
 	}
 	t.meter.EndRound()
 	return stats, evalRes
+}
+
+// BenchDispersal times the two dispersal engines head to head on the frozen
+// current server state: `passes` dispersal-only sweeps over every client
+// through the round-scoped multi-user batched engine, then the same sweeps
+// through the per-client scalar engine, on the configured Workers pool.
+// Neither sweep mutates protocol state — outputs are compared, not delivered
+// — so the call is safe between rounds. It returns each engine's fastest
+// sweep (interference only ever adds time, so the minimum is the robust
+// paired estimator) and whether every client's D̃ᵢ came out identical (it
+// must; the experiment feeds this into its determinism flag).
+// The server model must support the multi-user contract; models that don't
+// report zero timings and identical=true, since only the scalar path exists.
+func (t *Trainer) BenchDispersal(passes int) (batchedSecs, scalarSecs float64, identical bool) {
+	identical = true
+	mbs, ok := t.server.model.(models.MultiBlockScorer)
+	if !ok || t.cfg.Alpha <= 0 || passes <= 0 {
+		return 0, 0, true
+	}
+	if w, ok := t.server.model.(eval.Warmer); ok {
+		w.WarmScoring()
+	}
+	plan := t.server.buildDispersalPlan()
+	workers := par.Workers(t.cfg.Workers)
+	chunk := (len(t.clients) + workers - 1) / workers
+	// Both engines must draw identical per-client streams; a fixed
+	// derivation (pure, never consumed elsewhere) keeps the sweep
+	// reproducible and stateless.
+	needStreams := t.disperseNeedsStreams()
+	benchRoot := t.root.Derive("disperse-bench")
+	clientStream := func(id int) *rng.Stream {
+		if !needStreams {
+			return nil
+		}
+		return benchRoot.DeriveN("client", id)
+	}
+
+	// Measurement shape: three alternating groups per engine, each group
+	// timing `passes` back-to-back sweeps, and each engine reporting its
+	// fastest group. Long groups average out sub-second scheduler and
+	// CPU-quota stalls that a single sweep's clock aliases with; alternating
+	// groups spread slower drift evenly; and the minimum discards whole
+	// disturbed groups — interference only ever adds time.
+	const benchGroups = 3
+	out := make([][]comm.Prediction, len(t.clients))
+	var mismatches atomic.Int64
+	for g := 0; g < benchGroups; g++ {
+		firstGroup := g == 0
+		runtime.GC()
+		start := time.Now()
+		for p := 0; p < passes; p++ {
+			collect := firstGroup && p == 0
+			par.ForChunks(len(t.clients), chunk, workers, func(lo, hi int) {
+				sc := newDisperseBatchScratch()
+				for b := lo; b < hi; b += disperseBatchClients {
+					be := b + disperseBatchClients
+					if be > hi {
+						be = hi
+					}
+					slots := sc.slots[:be-b]
+					for i := b; i < be; i++ {
+						slots[i-b].c = t.clients[i]
+						slots[i-b].ds = clientStream(t.clients[i].ID)
+					}
+					t.server.disperseBatch(mbs, slots, plan, sc)
+					if collect {
+						for i := b; i < be; i++ {
+							out[i] = slots[i-b].preds
+						}
+					}
+				}
+			})
+		}
+		if secs := time.Since(start).Seconds() / float64(passes); batchedSecs == 0 || secs < batchedSecs {
+			batchedSecs = secs
+		}
+
+		runtime.GC()
+		start = time.Now()
+		for p := 0; p < passes; p++ {
+			compare := firstGroup && p == 0
+			par.ForChunks(len(t.clients), chunk, workers, func(lo, hi int) {
+				scratch := &disperseScratch{}
+				for i := lo; i < hi; i++ {
+					c := t.clients[i]
+					preds := t.server.disperse(c, clientStream(c.ID), plan, scratch)
+					if compare && !predictionsEqual(preds, out[i]) {
+						mismatches.Add(1)
+					}
+				}
+			})
+		}
+		if secs := time.Since(start).Seconds() / float64(passes); scalarSecs == 0 || secs < scalarSecs {
+			scalarSecs = secs
+		}
+	}
+	return batchedSecs, scalarSecs, mismatches.Load() == 0
+}
+
+// predictionsEqual compares two dispersal outputs bitwise.
+func predictionsEqual(a, b []comm.Prediction) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// disperseNeedsStreams reports whether the configured dispersal arm consumes
+// per-client randomness: only the ablation arms that replace the confidence
+// or hard half with uniform draws do.
+func (t *Trainer) disperseNeedsStreams() bool {
+	nConf, nHard, confRandom, hardRandom := disperseArms(&t.cfg)
+	return (nConf > 0 && confRandom) || (nHard > 0 && hardRandom)
 }
 
 // encodeForWire runs predictions through the configured wire codec,

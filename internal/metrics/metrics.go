@@ -265,8 +265,25 @@ func (s *TopKSelector) siftDown(i, size int) {
 }
 
 // Push offers one (index, score) pair. Indices must be distinct within a
-// selection; scores may repeat freely.
+// selection; scores may repeat freely. The overwhelmingly common case on a
+// full selection — the newcomer loses to the worst kept candidate (lower
+// score, or equal score and larger index) — returns from this small,
+// inlinable wrapper without a call; heap maintenance lives in pushHeap.
 func (s *TopKSelector) Push(i int, score float64) {
+	if s.k <= 0 {
+		return
+	}
+	if len(s.idx) == s.k {
+		if score < s.score[0] || (score == s.score[0] && i > s.idx[0]) {
+			return
+		}
+	}
+	s.pushHeap(i, score)
+}
+
+// pushHeap inserts a pair that survived Push's reject test: growing the heap
+// while it is below k, replacing the root otherwise.
+func (s *TopKSelector) pushHeap(i int, score float64) {
 	if len(s.idx) < s.k {
 		s.idx = append(s.idx, i)
 		s.score = append(s.score, score)
@@ -280,16 +297,18 @@ func (s *TopKSelector) Push(i int, score float64) {
 		}
 		return
 	}
-	if s.k <= 0 {
-		return
-	}
-	// Keep the newcomer only if it beats the worst kept candidate (the root):
-	// higher score, or equal score and smaller index.
-	if score < s.score[0] || (score == s.score[0] && i > s.idx[0]) {
-		return
-	}
 	s.idx[0], s.score[0] = i, score
 	s.siftDown(0, s.k)
+}
+
+// PushRow offers a contiguous run of scores whose indices are base, base+1,
+// … — one batched score row from the scoring engines — equivalent to calling
+// Push(base+j, scores[j]) for every j. Because (score, index) is a strict
+// total order, feeding rows is interchangeable with element pushes.
+func (s *TopKSelector) PushRow(base int, scores []float64) {
+	for j, sc := range scores {
+		s.Push(base+j, sc)
+	}
 }
 
 // Into writes the selected indices into dst (reusing its storage when it has

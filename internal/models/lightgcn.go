@@ -106,11 +106,30 @@ func (m *LightGCN) ScoreItemsInto(dst []float64, u int, items []int) []float64 {
 }
 
 // ScoreBlockInto implements BlockScorer: one fused row-gather GEMV against
-// the propagated embedding matrix scores the whole candidate list.
+// the propagated embedding matrix scores the whole candidate list (sharded
+// over the TrainWorkers pool for very long lists).
 func (m *LightGCN) ScoreBlockInto(dst []float64, u int, items []int) {
 	checkBlock(dst, items)
 	f := m.propagate()
-	tensor.GatherMulVecInto(dst, f, items, m.cfg.NumUsers, f.Row(u))
+	tensor.GatherMulVecIntoPar(dst, f, items, m.cfg.NumUsers, f.Row(u), m.workers)
+	sigmoidVec(dst)
+}
+
+// ScoreUsersBlockInto implements MultiBlockScorer: one double-gathered GEMM
+// against the propagated embedding matrix scores the whole user batch.
+func (m *LightGCN) ScoreUsersBlockInto(dst *tensor.Matrix, users []int, items []int) {
+	checkUsersBlock(dst, users, items)
+	f := m.propagate()
+	tensor.GatherMulMatInto(dst, f, users, 0, f, items, m.cfg.NumUsers)
+	sigmoidData(dst)
+}
+
+// ScorePairsInto implements MultiBlockScorer's ragged half: one gathered
+// pair-dot pass over the propagated embedding matrix.
+func (m *LightGCN) ScorePairsInto(dst []float64, users []int, items []int) {
+	checkPairs(dst, users, items)
+	f := m.propagate()
+	tensor.GatherPairDotInto(dst, f, users, 0, f, items, m.cfg.NumUsers)
 	sigmoidVec(dst)
 }
 

@@ -57,19 +57,53 @@ func (m *MF) ScoreItemsInto(dst []float64, u int, items []int) []float64 {
 }
 
 // ScoreBlockInto implements BlockScorer: one fused row-gather GEMV against
-// the dense item-embedding matrix scores the whole candidate list. Lazy item
-// tables have no dense matrix to multiply against, so they keep the per-item
-// loop (which materialises rows and is therefore single-goroutine anyway).
+// the dense item-embedding matrix scores the whole candidate list (sharded
+// over the TrainWorkers pool for very long lists). Lazy item tables have no
+// dense matrix to multiply against, so they keep the per-item loop (which
+// materialises rows and is therefore single-goroutine anyway).
 func (m *MF) ScoreBlockInto(dst []float64, u int, items []int) {
 	checkBlock(dst, items)
 	p := m.users.Row(u)
 	if t, ok := m.items.(*emb.Table); ok {
-		tensor.GatherMulVecInto(dst, t.W, items, 0, p)
+		tensor.GatherMulVecIntoPar(dst, t.W, items, 0, p, m.workers)
 		sigmoidVec(dst)
 		return
 	}
 	for i, v := range items {
 		dst[i] = nn.Sigmoid(dot(p, m.items.Row(v)))
+	}
+}
+
+// ScoreUsersBlockInto implements MultiBlockScorer: one double-gathered GEMM
+// against the dense embedding tables scores the whole user batch. Lazy
+// tables fall back to per-user block scoring row by row.
+func (m *MF) ScoreUsersBlockInto(dst *tensor.Matrix, users []int, items []int) {
+	checkUsersBlock(dst, users, items)
+	ut, uok := m.users.(*emb.Table)
+	it, iok := m.items.(*emb.Table)
+	if uok && iok {
+		tensor.GatherMulMatInto(dst, ut.W, users, 0, it.W, items, 0)
+		sigmoidData(dst)
+		return
+	}
+	for i, u := range users {
+		m.ScoreBlockInto(dst.Row(i), u, items)
+	}
+}
+
+// ScorePairsInto implements MultiBlockScorer's ragged half: one gathered
+// pair-dot pass over the dense embedding tables.
+func (m *MF) ScorePairsInto(dst []float64, users []int, items []int) {
+	checkPairs(dst, users, items)
+	ut, uok := m.users.(*emb.Table)
+	it, iok := m.items.(*emb.Table)
+	if uok && iok {
+		tensor.GatherPairDotInto(dst, ut.W, users, 0, it.W, items, 0)
+		sigmoidVec(dst)
+		return
+	}
+	for p, u := range users {
+		dst[p] = nn.Sigmoid(dot(m.users.Row(u), m.items.Row(items[p])))
 	}
 }
 

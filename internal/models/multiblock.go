@@ -1,0 +1,55 @@
+package models
+
+import (
+	"fmt"
+
+	"ptffedrec/internal/tensor"
+)
+
+// MultiBlockScorer is the multi-user batched scoring engine's contract,
+// implemented by every model in this package. ScoreUsersBlockInto fills dst —
+// which must be len(users) × len(items) — with σ(logit) for every
+// (users[i], items[j]) pair, scoring the whole user batch against the shared
+// candidate block through matrix kernels: MF and the graph models run one
+// double-gathered GEMM (tensor.GatherMulMatInto) against the (propagated)
+// embedding matrices, and NeuMF streams each user's row through its pooled
+// chunked MLP forwards.
+//
+// The contract is strict: dst.Row(i) is bitwise-identical to
+// ScoreBlockInto(row, users[i], items) — and therefore to the per-item
+// scoring path — for any batch composition, so dispersal plans and training
+// histories do not depend on how clients are grouped into score batches.
+// Concurrency follows BlockScorer's rules: calls for disjoint user batches
+// are safe once lazily built shared state is warm (eval.Warmer) and the
+// model's tables are dense; Lazy models materialise rows on read and must be
+// scored from one goroutine.
+// ScorePairsInto is the contract's ragged half: dst[p] = σ(logit) for the
+// pair (users[p], items[p]). It batches scoring passes whose per-user item
+// lists differ — dispersal's final re-scoring concatenates every client's
+// chosen items into one pair list — through the gathered pair-dot kernels
+// (tensor.GatherPairDotInto) or, for NeuMF, the same pooled chunked forwards
+// with per-row users. Values are bitwise-identical to scoring each pair
+// through the per-user paths.
+type MultiBlockScorer interface {
+	ScoreUsersBlockInto(dst *tensor.Matrix, users []int, items []int)
+	ScorePairsInto(dst []float64, users []int, items []int)
+}
+
+// checkPairs validates a ScorePairsInto destination.
+func checkPairs(dst []float64, users, items []int) {
+	if len(dst) != len(users) || len(users) != len(items) {
+		panic(fmt.Sprintf("models: ScorePairsInto dst[%d] for %d users × %d items",
+			len(dst), len(users), len(items)))
+	}
+}
+
+// checkUsersBlock validates a ScoreUsersBlockInto destination.
+func checkUsersBlock(dst *tensor.Matrix, users, items []int) {
+	if dst.Rows != len(users) || dst.Cols != len(items) {
+		panic(fmt.Sprintf("models: ScoreUsersBlockInto dst %dx%d for %d users × %d items",
+			dst.Rows, dst.Cols, len(users), len(items)))
+	}
+}
+
+// sigmoidData replaces each logit in m with σ(logit).
+func sigmoidData(m *tensor.Matrix) { sigmoidVec(m.Data) }

@@ -1,0 +1,172 @@
+package models
+
+import (
+	"testing"
+
+	"ptffedrec/internal/graph"
+	"ptffedrec/internal/rng"
+	"ptffedrec/internal/tensor"
+)
+
+// multiBlockFixture builds a trained model of the given kind over a small
+// random universe (graph kinds get a random bipartite graph).
+func multiBlockFixture(t *testing.T, kind Kind, lazy bool) Recommender {
+	t.Helper()
+	cfg := DefaultConfig(23, 57)
+	cfg.Dim = 6
+	cfg.Layers = 2
+	cfg.Seed = 11
+	cfg.Lazy = lazy
+	m, err := New(kind, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := rng.New(99).Derive("fixture")
+	if gm, ok := m.(GraphRecommender); ok {
+		g := graph.NewBipartite(cfg.NumUsers, cfg.NumItems)
+		for u := 0; u < cfg.NumUsers; u++ {
+			for _, v := range s.SampleInts(cfg.NumItems, 5) {
+				g.AddEdge(u, v, 0.3+s.Float64()*0.7)
+			}
+		}
+		gm.SetGraph(g)
+	}
+	var batch []Sample
+	for i := 0; i < 200; i++ {
+		batch = append(batch, Sample{User: s.Intn(cfg.NumUsers), Item: s.Intn(cfg.NumItems), Label: s.Float64()})
+	}
+	m.TrainBatch(batch)
+	return m
+}
+
+// TestScoreUsersBlockMatchesScalar pins the MultiBlockScorer contract for
+// every model kind: each row of the batched user-block score matrix is
+// bitwise-identical to the single-user ScoreBlockInto path, for batch sizes
+// covering the GEMM kernel's interleaved quad path and its remainder tail.
+func TestScoreUsersBlockMatchesScalar(t *testing.T) {
+	kinds := []Kind{KindMF, KindNeuMF, KindNGCF, KindLightGCN}
+	s := rng.New(5).Derive("batch")
+	for _, kind := range kinds {
+		m := multiBlockFixture(t, kind, false)
+		mbs, ok := m.(MultiBlockScorer)
+		if !ok {
+			t.Fatalf("%s does not implement MultiBlockScorer", kind)
+		}
+		bs := m.(BlockScorer)
+		for _, nUsers := range []int{1, 3, 4, 7} {
+			users := s.SampleInts(23, nUsers)
+			items := s.SampleInts(57, 1+s.Intn(57))
+			dst := tensor.New(len(users), len(items))
+			mbs.ScoreUsersBlockInto(dst, users, items)
+			want := make([]float64, len(items))
+			for i, u := range users {
+				bs.ScoreBlockInto(want, u, items)
+				for j := range want {
+					if dst.At(i, j) != want[j] {
+						t.Fatalf("%s users=%d: dst[%d][%d] = %v, want %v (user %d item %d)",
+							kind, nUsers, i, j, dst.At(i, j), want[j], u, items[j])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestScorePairsMatchesScalar pins the ragged half of the contract for every
+// model kind: pair scores are bitwise-identical to scoring each pair through
+// the single-user block path, across pair counts covering the interleaved
+// quad path, its tail, and NeuMF's chunk boundaries.
+func TestScorePairsMatchesScalar(t *testing.T) {
+	s := rng.New(17).Derive("pairs")
+	for _, kind := range []Kind{KindMF, KindNeuMF, KindNGCF, KindLightGCN} {
+		m := multiBlockFixture(t, kind, false)
+		mbs := m.(MultiBlockScorer)
+		bs := m.(BlockScorer)
+		for _, n := range []int{1, 3, 4, 9, 300} {
+			users := make([]int, n)
+			items := make([]int, n)
+			for i := range users {
+				users[i] = s.Intn(23)
+				items[i] = s.Intn(57)
+			}
+			dst := make([]float64, n)
+			mbs.ScorePairsInto(dst, users, items)
+			one := make([]float64, 1)
+			for p := range users {
+				bs.ScoreBlockInto(one, users[p], items[p:p+1])
+				if dst[p] != one[0] {
+					t.Fatalf("%s n=%d: pair %d = %v, scalar %v (user %d item %d)",
+						kind, n, p, dst[p], one[0], users[p], items[p])
+				}
+			}
+		}
+	}
+}
+
+// TestScoreUsersBlockLazyFallback pins the lazy-table fallback: models whose
+// embedding tables materialise rows on read still satisfy the contract
+// through the per-user path.
+func TestScoreUsersBlockLazyFallback(t *testing.T) {
+	m := multiBlockFixture(t, KindMF, true)
+	mbs := m.(MultiBlockScorer)
+	users := []int{0, 3, 7, 7, 12, 22}
+	items := []int{0, 5, 9, 31, 56}
+	dst := tensor.New(len(users), len(items))
+	mbs.ScoreUsersBlockInto(dst, users, items)
+	want := make([]float64, len(items))
+	for i, u := range users {
+		m.(BlockScorer).ScoreBlockInto(want, u, items)
+		for j := range want {
+			if dst.At(i, j) != want[j] {
+				t.Fatalf("lazy MF: dst[%d][%d] = %v, want %v", i, j, dst.At(i, j), want[j])
+			}
+		}
+	}
+}
+
+// BenchmarkMultiUserScoring compares per-user block scoring with the
+// multi-user gather-GEMM engine on a 16-user batch over a full-catalogue
+// candidate block — the dispersal engine's hard-half shape. The gap is pure
+// kernel: the GEMM's interleaved accumulators and shared candidate-row loads
+// against one GEMV per user.
+func BenchmarkMultiUserScoring(b *testing.B) {
+	for _, kind := range []Kind{KindMF, KindLightGCN, KindNGCF} {
+		m := blockModel(b, kind, false)
+		if w, ok := m.(interface{ WarmScoring() }); ok {
+			w.WarmScoring()
+		}
+		numUsers := blockConfig().NumUsers
+		items := make([]int, blockConfig().NumItems)
+		for i := range items {
+			items[i] = i
+		}
+		users := make([]int, 16)
+		for i := range users {
+			users[i] = i % numUsers
+		}
+		dst := tensor.New(len(users), len(items))
+		b.Run(string(kind)+"/per-user", func(b *testing.B) {
+			bs := m.(BlockScorer)
+			for i := 0; i < b.N; i++ {
+				for r, u := range users {
+					bs.ScoreBlockInto(dst.Row(r), u, items)
+				}
+			}
+		})
+		b.Run(string(kind)+"/multi-user", func(b *testing.B) {
+			mbs := m.(MultiBlockScorer)
+			for i := 0; i < b.N; i++ {
+				mbs.ScoreUsersBlockInto(dst, users, items)
+			}
+		})
+	}
+}
+
+// TestScoreUsersBlockEmptyItems pins the zero-item edge for every kind.
+func TestScoreUsersBlockEmptyItems(t *testing.T) {
+	for _, kind := range []Kind{KindMF, KindNeuMF, KindNGCF, KindLightGCN} {
+		m := multiBlockFixture(t, kind, false)
+		dst := tensor.New(2, 0)
+		m.(MultiBlockScorer).ScoreUsersBlockInto(dst, []int{0, 1}, nil) // must not panic
+	}
+}

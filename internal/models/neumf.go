@@ -249,6 +249,29 @@ func (m *NeuMF) ScoreBlockInto(dst []float64, u int, items []int) {
 	}
 	ws := m.scoreWS.Get().(*neumfScoreWS)
 	defer m.scoreWS.Put(ws)
+	m.scoreBlockWS(ws, dst, u, items)
+}
+
+// ScoreUsersBlockInto implements MultiBlockScorer: each user's row runs the
+// pooled chunked tower forwards, borrowing one workspace for the whole batch.
+// Every forward row depends only on its own (user, item) input row, so the
+// batch grouping never changes a score.
+func (m *NeuMF) ScoreUsersBlockInto(dst *tensor.Matrix, users []int, items []int) {
+	checkUsersBlock(dst, users, items)
+	if len(items) == 0 {
+		return
+	}
+	ws := m.scoreWS.Get().(*neumfScoreWS)
+	defer m.scoreWS.Put(ws)
+	for i, u := range users {
+		m.scoreBlockWS(ws, dst.Row(i), u, items)
+	}
+}
+
+// scoreBlockWS is the chunked-forward core shared by the single- and
+// multi-user block scorers: one user's candidate list streams through the
+// tower in scoreChunkSize chunks over the caller's workspace.
+func (m *NeuMF) scoreBlockWS(ws *neumfScoreWS, dst []float64, u int, items []int) {
 	urow := m.users.Row(u)
 	d := m.cfg.Dim
 	for off := 0; off < len(items); off += scoreChunkSize {
@@ -263,14 +286,49 @@ func (m *NeuMF) ScoreBlockInto(dst []float64, u int, items []int) {
 			copy(row[:d], urow)
 			copy(row[d:], m.items.Row(v))
 		}
-		cur := x
-		for li, dl := range m.tower {
-			z := dl.ForwardInto(ws.zs[li].FirstRows(n), cur)
-			cur = nn.ReLUInto(ws.as[li].FirstRows(n), z)
+		m.forwardChunkWS(ws, dst[off:end], x)
+	}
+}
+
+// forwardChunkWS runs one assembled input chunk through the tower over the
+// workspace, writing σ(logit) per row into dst.
+func (m *NeuMF) forwardChunkWS(ws *neumfScoreWS, dst []float64, x *tensor.Matrix) {
+	n := x.Rows
+	cur := x
+	for li, dl := range m.tower {
+		z := dl.ForwardInto(ws.zs[li].FirstRows(n), cur)
+		cur = nn.ReLUInto(ws.as[li].FirstRows(n), z)
+	}
+	logits := m.out.ForwardInto(ws.logits.FirstRows(n), cur)
+	for i := 0; i < n; i++ {
+		dst[i] = nn.Sigmoid(logits.At(i, 0))
+	}
+}
+
+// ScorePairsInto implements MultiBlockScorer's ragged half: (user, item)
+// pairs stream through the same pooled chunked forwards with a per-row user
+// embedding. Each forward row depends only on its own input row, so pair
+// batching never changes a score.
+func (m *NeuMF) ScorePairsInto(dst []float64, users []int, items []int) {
+	checkPairs(dst, users, items)
+	if len(items) == 0 {
+		return
+	}
+	ws := m.scoreWS.Get().(*neumfScoreWS)
+	defer m.scoreWS.Put(ws)
+	d := m.cfg.Dim
+	for off := 0; off < len(items); off += scoreChunkSize {
+		end := off + scoreChunkSize
+		if end > len(items) {
+			end = len(items)
 		}
-		logits := m.out.ForwardInto(ws.logits.FirstRows(n), cur)
+		n := end - off
+		x := ws.x.FirstRows(n)
 		for i := 0; i < n; i++ {
-			dst[off+i] = nn.Sigmoid(logits.At(i, 0))
+			row := x.Row(i)
+			copy(row[:d], m.users.Row(users[off+i]))
+			copy(row[d:], m.items.Row(items[off+i]))
 		}
+		m.forwardChunkWS(ws, dst[off:end], x)
 	}
 }

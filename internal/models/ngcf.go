@@ -154,16 +154,55 @@ func (m *NGCF) ScoreItemsInto(dst []float64, u int, items []int) []float64 {
 
 // ScoreBlockInto implements BlockScorer: one fused row-gather GEMV per layer
 // matrix, accumulated in layer order — the same left-to-right sum over layers
-// as scoreNodes — then the averaged-readout sigmoid.
+// as scoreNodes — then the averaged-readout sigmoid. Very long candidate
+// lists shard over the TrainWorkers pool.
 func (m *NGCF) ScoreBlockInto(dst []float64, u int, items []int) {
 	checkBlock(dst, items)
 	m.propagate()
 	for l, e := range m.outs {
 		if l == 0 {
-			tensor.GatherMulVecInto(dst, e, items, m.cfg.NumUsers, e.Row(u))
+			tensor.GatherMulVecIntoPar(dst, e, items, m.cfg.NumUsers, e.Row(u), m.workers)
 			continue
 		}
-		tensor.GatherMulVecAddInto(dst, e, items, m.cfg.NumUsers, e.Row(u))
+		tensor.GatherMulVecAddIntoPar(dst, e, items, m.cfg.NumUsers, e.Row(u), m.workers)
+	}
+	scale := m.readoutScale()
+	for i, s := range dst {
+		dst[i] = nn.Sigmoid(s * scale)
+	}
+}
+
+// ScoreUsersBlockInto implements MultiBlockScorer: one double-gathered GEMM
+// per layer matrix, accumulated in layer order like scoreNodes, then the
+// averaged-readout sigmoid over the whole batch.
+func (m *NGCF) ScoreUsersBlockInto(dst *tensor.Matrix, users []int, items []int) {
+	checkUsersBlock(dst, users, items)
+	m.propagate()
+	for l, e := range m.outs {
+		if l == 0 {
+			tensor.GatherMulMatInto(dst, e, users, 0, e, items, m.cfg.NumUsers)
+			continue
+		}
+		tensor.GatherMulMatAddInto(dst, e, users, 0, e, items, m.cfg.NumUsers)
+	}
+	scale := m.readoutScale()
+	for i, s := range dst.Data {
+		dst.Data[i] = nn.Sigmoid(s * scale)
+	}
+}
+
+// ScorePairsInto implements MultiBlockScorer's ragged half: one gathered
+// pair-dot pass per layer matrix, accumulated in layer order like
+// scoreNodes, then the averaged-readout sigmoid.
+func (m *NGCF) ScorePairsInto(dst []float64, users []int, items []int) {
+	checkPairs(dst, users, items)
+	m.propagate()
+	for l, e := range m.outs {
+		if l == 0 {
+			tensor.GatherPairDotInto(dst, e, users, 0, e, items, m.cfg.NumUsers)
+			continue
+		}
+		tensor.GatherPairDotAddInto(dst, e, users, 0, e, items, m.cfg.NumUsers)
 	}
 	scale := m.readoutScale()
 	for i, s := range dst {

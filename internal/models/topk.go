@@ -53,9 +53,7 @@ func ScoreBlockTopK(bs BlockScorer, sc *TopKScratch, u int, items []int, k int) 
 		}
 		buf := sc.scores[:end-off]
 		bs.ScoreBlockInto(buf, u, items[off:end])
-		for j, s := range buf {
-			sc.sel.Push(off+j, s)
-		}
+		sc.sel.PushRow(off, buf)
 	}
 	sc.out = sc.sel.Into(sc.out)
 	return sc.out

@@ -146,6 +146,84 @@ func MatMulATBPar(a, b *Matrix, workers int) *Matrix {
 	return out
 }
 
+// MulVecIntoPar computes dst = m·x like MulVecInto, sharding dst's rows over
+// workers once the output is long enough (gemvParMinRows) for the pool
+// handoff to pay. Bitwise-identical to MulVecInto for every worker count.
+func MulVecIntoPar(dst []float64, m *Matrix, x []float64, workers int) {
+	if workers <= 1 || len(dst) < gemvParMinRows {
+		MulVecInto(dst, m, x)
+		return
+	}
+	if len(dst) != m.Rows || len(x) != m.Cols {
+		panic(fmt.Sprintf("tensor: MulVecIntoPar dst[%d], m %dx%d, x[%d]", len(dst), m.Rows, m.Cols, len(x)))
+	}
+	par.ForChunks(len(dst), gemvParChunk, workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dst[i] = Dot(m.Row(i), x)
+		}
+	})
+}
+
+// GatherMulVecIntoPar computes dst[i] = m.Row(rows[i]+rowOffset)·x like
+// GatherMulVecInto, sharding the gathered rows over workers once the
+// candidate list is long enough (gemvParMinRows) for the pool handoff to
+// pay. Bitwise-identical to GatherMulVecInto for every worker count: each
+// output element is one Dot produced by exactly one goroutine.
+func GatherMulVecIntoPar(dst []float64, m *Matrix, rows []int, rowOffset int, x []float64, workers int) {
+	if workers <= 1 || len(rows) < gemvParMinRows {
+		GatherMulVecInto(dst, m, rows, rowOffset, x)
+		return
+	}
+	if len(dst) != len(rows) {
+		panic(fmt.Sprintf("tensor: GatherMulVecIntoPar dst[%d] for %d rows", len(dst), len(rows)))
+	}
+	if len(x) != m.Cols {
+		panic(fmt.Sprintf("tensor: GatherMulVecIntoPar x[%d], m %dx%d", len(x), m.Rows, m.Cols))
+	}
+	par.ForChunks(len(rows), gemvParChunk, workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dst[i] = Dot(m.Row(rows[i]+rowOffset), x)
+		}
+	})
+}
+
+// GatherMulVecAddIntoPar is GatherMulVecIntoPar accumulating into dst, the
+// parallel form of GatherMulVecAddInto with the same threshold and
+// determinism contract.
+func GatherMulVecAddIntoPar(dst []float64, m *Matrix, rows []int, rowOffset int, x []float64, workers int) {
+	if workers <= 1 || len(rows) < gemvParMinRows {
+		GatherMulVecAddInto(dst, m, rows, rowOffset, x)
+		return
+	}
+	if len(dst) != len(rows) {
+		panic(fmt.Sprintf("tensor: GatherMulVecAddIntoPar dst[%d] for %d rows", len(dst), len(rows)))
+	}
+	if len(x) != m.Cols {
+		panic(fmt.Sprintf("tensor: GatherMulVecAddIntoPar x[%d], m %dx%d", len(x), m.Rows, m.Cols))
+	}
+	par.ForChunks(len(rows), gemvParChunk, workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dst[i] += Dot(m.Row(rows[i]+rowOffset), x)
+		}
+	})
+}
+
+// GatherMulMatIntoPar computes the double-gathered GEMM like GatherMulMatInto,
+// sharding the candidate columns over workers once the candidate list is long
+// enough. The query dimension is typically a small batch, so the candidate
+// axis is the one worth splitting. Bitwise-identical to GatherMulMatInto for
+// every worker count.
+func GatherMulMatIntoPar(dst *Matrix, a *Matrix, arows []int, aoff int, b *Matrix, brows []int, boff int, workers int) {
+	if workers <= 1 || len(brows) < gemvParMinRows {
+		GatherMulMatInto(dst, a, arows, aoff, b, brows, boff)
+		return
+	}
+	checkGatherMat(dst, a, arows, b, brows)
+	par.ForChunks(len(brows), gemvParChunk, workers, func(jlo, jhi int) {
+		gatherMulMatRange(dst, a, arows, aoff, b, brows, boff, jlo, jhi, false)
+	})
+}
+
 // matMulATBRange computes aᵀ·b restricted to rows [lo, hi) of the shared
 // leading dimension, with MatMulATB's inner-loop order.
 func matMulATBRange(a, b *Matrix, lo, hi int) *Matrix {
