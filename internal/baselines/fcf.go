@@ -7,6 +7,7 @@ import (
 	"ptffedrec/internal/comm"
 	"ptffedrec/internal/data"
 	"ptffedrec/internal/eval"
+	"ptffedrec/internal/models"
 	"ptffedrec/internal/nn"
 	"ptffedrec/internal/rng"
 )
@@ -133,7 +134,7 @@ func (f *FCF) clientUpdate(u, round int) []float64 {
 
 // Evaluate implements FederatedBaseline.
 func (f *FCF) Evaluate() eval.Result {
-	scorer := eval.ScorerFunc(func(u int, items []int) []float64 {
+	scorer := models.ScorerFunc(func(u int, items []int) []float64 {
 		out := make([]float64, len(items))
 		for i, v := range items {
 			out[i] = nn.Sigmoid(dotVec(f.users[u].w, f.items.W.Row(v)))

@@ -10,6 +10,7 @@ import (
 	"ptffedrec/internal/data"
 	"ptffedrec/internal/eval"
 	"ptffedrec/internal/hesim"
+	"ptffedrec/internal/models"
 	"ptffedrec/internal/nn"
 	"ptffedrec/internal/rng"
 	"ptffedrec/internal/tensor"
@@ -230,7 +231,7 @@ func (f *FedMF) HomomorphicSmokeTest() error {
 
 // Evaluate implements FederatedBaseline.
 func (f *FedMF) Evaluate() eval.Result {
-	scorer := eval.ScorerFunc(func(u int, items []int) []float64 {
+	scorer := models.ScorerFunc(func(u int, items []int) []float64 {
 		out := make([]float64, len(items))
 		for i, v := range items {
 			out[i] = nn.Sigmoid(dotVec(f.users[u].w, f.items.Row(v)))

@@ -8,6 +8,7 @@ import (
 	"ptffedrec/internal/data"
 	"ptffedrec/internal/emb"
 	"ptffedrec/internal/eval"
+	"ptffedrec/internal/models"
 	"ptffedrec/internal/nn"
 	"ptffedrec/internal/rng"
 	"ptffedrec/internal/tensor"
@@ -207,7 +208,7 @@ func (m *MetaMF) clientUpdate(u, round int, q *tensor.Matrix) []float64 {
 
 // Evaluate implements FederatedBaseline.
 func (m *MetaMF) Evaluate() eval.Result {
-	scorer := eval.ScorerFunc(func(u int, items []int) []float64 {
+	scorer := models.ScorerFunc(func(u int, items []int) []float64 {
 		_, _, _, _, scale, shift := m.generate(u)
 		out := make([]float64, len(items))
 		p := m.users[u].w

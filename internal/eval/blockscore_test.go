@@ -23,7 +23,7 @@ func (s scalarOnly) ScoreItemsInto(dst []float64, u int, items []int) []float64 
 }
 
 func (s scalarOnly) WarmScoring() {
-	if w, ok := s.m.(Warmer); ok {
+	if w, ok := s.m.(models.Warmer); ok {
 		w.WarmScoring()
 	}
 }

@@ -8,15 +8,28 @@
 // index-addressed slots and reduced sequentially in user order, so the result
 // is bitwise-identical for every worker count.
 //
-// Two engines remove the remaining per-user round costs. The candidate cache:
-// an Evaluator builds each user's candidate list from the immutable train
-// mask once and reuses it every round, so the per-round loop never touches
-// Split.InTrain. The selection engine: scorers that implement BlockScorer are
-// driven chunk-wise through models.ScoreBlockTopK, so a user's scores stream
-// through a bounded-heap top-k selection instead of materialising a
-// NumItems-length vector and stable-sorting an index permutation. Both paths
-// are bitwise-identical to the naive score-everything-then-sort evaluation,
-// so Results never depend on the path taken.
+// Three engines remove the remaining per-round costs. The candidate cache: an
+// Evaluator builds each user's candidate list from the immutable train mask
+// once and reuses it every round, so the per-round loop never touches
+// Split.InTrain. The single-user selection engine: scorers that implement
+// models.BlockScorer are driven chunk-wise through models.ScoreBlockTopK, so
+// a user's scores stream through a bounded-heap top-k selection instead of
+// materialising a NumItems-length vector and stable-sorting an index
+// permutation. The multi-user batched engine: scorers that implement
+// models.MultiBlockScorer score evalUsersBatch users per kernel call in
+// logit domain — one gather-GEMM per (user batch, item window), each user's
+// cached candidate list walked against the window, raw logits streamed into
+// metrics.LogitTopKSelector under its tie-safe contract — so the
+// item-embedding rows are loaded once per batch instead of once per user and
+// the sigmoid is paid only for candidates that reach a heap, not once per
+// (user, candidate). All paths are bitwise-identical to the naive
+// score-everything-then-sort evaluation, so Results never depend on the path
+// taken.
+//
+// The package consumes the models scoring interface family directly
+// (models.Scorer and its InplaceScorer / BlockScorer / MultiBlockScorer
+// refinements, models.Warmer for lazily built shared state); capability
+// detection happens once per Rank call, not per user.
 package eval
 
 import (
@@ -25,73 +38,63 @@ import (
 	"ptffedrec/internal/metrics"
 	"ptffedrec/internal/models"
 	"ptffedrec/internal/par"
+	"ptffedrec/internal/tensor"
 )
 
-// Scorer scores one user against a list of candidate items. models.Recommender
-// satisfies this; federated clients adapt it to their local user index.
-//
-// A Scorer handed to Ranking must tolerate concurrent ScoreItems calls for
-// distinct users (Ranking never scores the same user from two goroutines).
-// Scorers whose first call lazily builds shared state should implement Warmer.
-type Scorer interface {
-	ScoreItems(u int, items []int) []float64
+// evalUsersBatch is how many users the batched engine scores per kernel call:
+// the multi-user GEMM loads each item-embedding row once per batch instead of
+// once per user, and its interleaved accumulators hide FP-add latency. Purely
+// a scheduling knob — the batch grouping never changes results. A var so
+// tests can shrink it to force multi-batch runs on small user sets.
+var evalUsersBatch = 16
+
+// evalScoreChunk is the item-window width of the batched engine: a user
+// batch's logits materialise batch×chunk at a time, streaming each window's
+// candidate logits into the per-user selectors, so no full score vector ever
+// exists. A var so tests can shrink it to force multi-window selections on
+// small catalogues.
+var evalScoreChunk = 1024
+
+// caps is the one capability-detecting adapter between the evaluator and the
+// models scoring interface family: every optional refinement is resolved once
+// per Rank call, and scoreItems dispatches on the resolved fields instead of
+// re-sniffing interfaces per user.
+type caps struct {
+	scorer models.Scorer
+	into   models.InplaceScorer    // nil when unsupported
+	block  models.BlockScorer      // nil when unsupported
+	multi  models.MultiBlockScorer // nil when unsupported
 }
 
-// ScorerFunc adapts a function to the Scorer interface.
-type ScorerFunc func(u int, items []int) []float64
-
-// ScoreItems implements Scorer.
-func (f ScorerFunc) ScoreItems(u int, items []int) []float64 { return f(u, items) }
-
-// ScorerInto is an optional Scorer extension for models whose batch scoring
-// can reuse a caller buffer (models.InplaceScorer satisfies it). The
-// evaluator gives each worker one reusable score buffer for its whole share
-// of users, cutting a per-user allocation of |candidates| floats from the hot
-// loop.
-type ScorerInto interface {
-	ScoreItemsInto(dst []float64, u int, items []int) []float64
-}
-
-// BlockScorer is the batched scoring engine's contract (models.BlockScorer
-// satisfies it): ScoreBlockInto fills dst — length len(items) — with user u's
-// scores for the whole candidate block through matrix kernels, with results
-// bitwise-identical to the per-item ScoreItems path. The evaluator prefers
-// this path and fuses selection into it: the candidate list streams through
-// models.ScoreBlockTopK in fixed-size chunks, so only a chunk of scores is
-// ever materialised.
-type BlockScorer interface {
-	ScoreBlockInto(dst []float64, u int, items []int)
+func detectCaps(s models.Scorer) caps {
+	c := caps{scorer: s}
+	c.into, _ = s.(models.InplaceScorer)
+	c.block, _ = s.(models.BlockScorer)
+	c.multi, _ = s.(models.MultiBlockScorer)
+	return c
 }
 
 // scoreItems scores through the strongest non-fused path the scorer supports
 // — batched block scoring, then buffer-reusing per-item, then plain
 // ScoreItems. buf is owned by the calling goroutine and carried across users.
-func scoreItems(s Scorer, buf *[]float64, u int, items []int) []float64 {
-	if bs, ok := s.(BlockScorer); ok {
+func (c *caps) scoreItems(buf *[]float64, u int, items []int) []float64 {
+	if c.block != nil {
 		out := *buf
 		if cap(out) < len(items) {
 			out = make([]float64, len(items))
 		} else {
 			out = out[:len(items)]
 		}
-		bs.ScoreBlockInto(out, u, items)
+		c.block.ScoreBlockInto(out, u, items)
 		*buf = out
 		return out
 	}
-	if si, ok := s.(ScorerInto); ok {
-		out := si.ScoreItemsInto(*buf, u, items)
+	if c.into != nil {
+		out := c.into.ScoreItemsInto(*buf, u, items)
 		*buf = out
 		return out
 	}
-	return s.ScoreItems(u, items)
-}
-
-// Warmer is an optional Scorer extension. WarmScoring precomputes any lazily
-// cached shared state (e.g. a graph model's propagated embeddings) so that
-// subsequent ScoreItems calls are read-only and safe to issue concurrently.
-// The evaluator invokes it once before fanning out to workers.
-type Warmer interface {
-	WarmScoring()
+	return c.scorer.ScoreItems(u, items)
 }
 
 // Result holds user-averaged ranking metrics.
@@ -114,12 +117,14 @@ type Result struct {
 // memory the cache trades for never rebuilding candidate lists or probing
 // the train mask again. One-shot callers (Ranking, RankingWorkers) use a
 // streaming evaluator instead, which rebuilds each user's list in per-worker
-// scratch and allocates no cache at all.
+// scratch and allocates no cache at all (and therefore always ranks through
+// the single-user engine).
 type Evaluator struct {
 	sp *data.Split
 
 	users []int           // users with held-out items, ascending
 	cache *candset.Packed // per-user candidate lists, ascending; nil when streaming
+	ident []int           // identity item list 0..NumItems-1 for the batched windows
 
 	// SortSelect forces ranking through the legacy sort path — the full
 	// score vector materialised, then metrics.TopK's stable sort over an
@@ -128,6 +133,15 @@ type Evaluator struct {
 	// experiment flips this to time select vs sort. Set before Rank, never
 	// concurrently with it.
 	SortSelect bool
+
+	// SingleUser forces ranking through the retained single-user engine —
+	// one probability-domain ScoreBlockTopK selection per user — instead of
+	// the multi-user batched logit engine. Results are bitwise-identical
+	// either way; the knob exists as the timing baseline for the scalability
+	// experiment's eval-users-scalar / eval-users-spdup columns and for
+	// invariance tests (the same pattern as fed.Config.DisperseScalar for
+	// dispersal). Set before Rank, never concurrently with it.
+	SingleUser bool
 }
 
 // NewEvaluator builds the candidate cache for a split with GOMAXPROCS
@@ -150,6 +164,10 @@ func NewEvaluatorWorkers(sp *data.Split, workers int) *Evaluator {
 		func(i int, dst []int32) {
 			candset.AppendComplementSorted(dst[:0], sp.NumItems, sp.Train[e.users[i]])
 		})
+	e.ident = make([]int, sp.NumItems)
+	for v := range e.ident {
+		e.ident[v] = v
+	}
 	return e
 }
 
@@ -180,10 +198,11 @@ func newStreamingEvaluator(sp *data.Split) *Evaluator {
 // Users returns how many users the evaluator covers.
 func (e *Evaluator) Users() int { return len(e.users) }
 
-// scratch is one worker's reusable state for its whole share of users: the
-// widened candidate list, the score buffer (non-fused paths only), the
-// selection output, the ranked item list, the relevance set, and the fused
-// selection engine's scratch. Nothing here is allocated per user.
+// scratch is one worker's reusable state for its whole share of users on the
+// single-user paths: the widened candidate list, the score buffer (non-fused
+// paths only), the selection output, the ranked item list, the relevance set,
+// and the fused selection engine's scratch. Nothing here is allocated per
+// user.
 type scratch struct {
 	cand     []int
 	scores   []float64
@@ -193,36 +212,106 @@ type scratch struct {
 	topk     models.TopKScratch
 }
 
+// batchScratch is one worker's reusable state for the batched multi-user
+// engine: the window logit matrix backing (plus its reusable header), one
+// logit-domain selector and candidate cursor per batch slot, the selectors'
+// three shared heap slabs, the ranked item list, and the relevance set.
+// Nothing here is allocated per batch — and because the selectors borrow
+// evalK-wide slab segments instead of growing their own arrays, building the
+// scratch itself costs a fixed handful of allocations, not three per slot.
+type batchScratch struct {
+	k        int       // slab stride: the Rank call's cutoff
+	scores   []float64 // batch×window logit backing
+	mat      tensor.Matrix
+	sels     []metrics.LogitTopKSelector
+	selIdx   []int // evalUsersBatch×k selector heap slabs
+	selLogit []float64
+	selProb  []float64
+	cursors  []int
+	ranked   []int
+	relevant map[int]bool
+}
+
+func newBatchScratch(k int) *batchScratch {
+	return &batchScratch{
+		k:        k,
+		sels:     make([]metrics.LogitTopKSelector, evalUsersBatch),
+		selIdx:   make([]int, evalUsersBatch*k),
+		selLogit: make([]float64, evalUsersBatch*k),
+		selProb:  make([]float64, evalUsersBatch*k),
+		cursors:  make([]int, evalUsersBatch),
+		ranked:   make([]int, 0, k),
+		relevant: make(map[int]bool, 16),
+	}
+}
+
+// resetSel points slot i's selector at its slab segment with cutoff kSel
+// (≤ the slab stride, so the heap never outgrows the segment).
+func (sc *batchScratch) resetSel(i, kSel int) {
+	lo, hi := i*sc.k, (i+1)*sc.k
+	sc.sels[i].ResetBacked(kSel, sc.selIdx[lo:lo:hi], sc.selLogit[lo:lo:hi], sc.selProb[lo:lo:hi])
+}
+
+// scoreMat returns a rows×cols logit matrix over the scratch backing,
+// growing it as needed. The returned header lives in the scratch, so windows
+// don't allocate.
+func (sc *batchScratch) scoreMat(rows, cols int) *tensor.Matrix {
+	if need := rows * cols; cap(sc.scores) < need {
+		sc.scores = make([]float64, need)
+	}
+	sc.mat = tensor.Matrix{Rows: rows, Cols: cols, Data: sc.scores[:rows*cols]}
+	return &sc.mat
+}
+
 // Rank evaluates the scorer at cutoff k over the cached (or streamed)
 // candidate sets with the given worker count (<= 0 means GOMAXPROCS).
 // Metrics are bitwise-identical for every worker count and every
 // selection/scoring path: per-user values depend only on the scorer, and the
 // reduction runs sequentially in user order.
-func (e *Evaluator) Rank(s Scorer, k, workers int) Result {
+func (e *Evaluator) Rank(s models.Scorer, k, workers int) Result {
 	if len(e.users) == 0 {
 		return Result{}
 	}
 	workers = par.Workers(workers)
+	c := detectCaps(s)
+	// The batched multi-user engine needs the multi-user logit contract and
+	// the candidate cache (streaming evaluators rebuild lists per user, which
+	// only the single-user loop does); SortSelect and SingleUser force the
+	// respective baselines.
+	batched := c.multi != nil && e.cache != nil && !e.SortSelect && !e.SingleUser
 	if workers > 1 {
-		if w, ok := s.(Warmer); ok {
+		if w, ok := s.(models.Warmer); ok {
 			w.WarmScoring()
 		}
 	}
 	recalls := make([]float64, len(e.users))
 	ndcgs := make([]float64, len(e.users))
 	// Chunk users so each worker reuses one scratch across its whole share
-	// instead of allocating per user.
+	// instead of allocating per user (or per batch).
 	chunk := (len(e.users) + workers - 1) / workers
-	par.ForChunks(len(e.users), chunk, workers, func(lo, hi int) {
-		sc := &scratch{
-			cand:     make([]int, e.sp.NumItems),
-			ranked:   make([]int, 0, k),
-			relevant: make(map[int]bool, 16),
-		}
-		for i := lo; i < hi; i++ {
-			recalls[i], ndcgs[i] = e.evalUser(s, sc, i, k)
-		}
-	})
+	if batched {
+		par.ForChunks(len(e.users), chunk, workers, func(lo, hi int) {
+			sc := newBatchScratch(k)
+			for b := lo; b < hi; b += evalUsersBatch {
+				be := b + evalUsersBatch
+				if be > hi {
+					be = hi
+				}
+				e.evalUserBatch(c.multi, sc, b, be, k, recalls, ndcgs)
+			}
+		})
+	} else {
+		par.ForChunks(len(e.users), chunk, workers, func(lo, hi int) {
+			sc := &scratch{
+				cand:     make([]int, e.sp.NumItems),
+				ranked:   make([]int, 0, k),
+				relevant: make(map[int]bool, 16),
+			}
+			for i := lo; i < hi; i++ {
+				recalls[i], ndcgs[i] = e.evalUser(&c, sc, i, k)
+			}
+		})
+	}
 	var agg metrics.RankEval
 	for i := range e.users {
 		agg.AddUser(recalls[i], ndcgs[i])
@@ -231,9 +320,9 @@ func (e *Evaluator) Rank(s Scorer, k, workers int) Result {
 	return Result{Recall: r, NDCG: n, Users: agg.Users}
 }
 
-// evalUser ranks one user and returns their Recall@k and NDCG@k. All storage
-// comes from the worker's scratch.
-func (e *Evaluator) evalUser(s Scorer, sc *scratch, i, k int) (recall, ndcg float64) {
+// evalUser ranks one user through the single-user engine and returns their
+// Recall@k and NDCG@k. All storage comes from the worker's scratch.
+func (e *Evaluator) evalUser(c *caps, sc *scratch, i, k int) (recall, ndcg float64) {
 	u := e.users[i]
 	var cand []int
 	if e.cache != nil {
@@ -244,21 +333,20 @@ func (e *Evaluator) evalUser(s Scorer, sc *scratch, i, k int) (recall, ndcg floa
 		cand = candset.AppendComplementSorted(sc.cand[:0], e.sp.NumItems, e.sp.Train[u])
 	}
 	var top []int
-	bs, fused := s.(BlockScorer)
 	switch {
 	case e.SortSelect:
 		// Legacy path: full score vector, stable sort of an O(n) index
 		// permutation. Kept as the timing baseline and reference semantics.
-		scores := scoreItems(s, &sc.scores, u, cand)
+		scores := c.scoreItems(&sc.scores, u, cand)
 		top = metrics.TopK(scores, k)
-	case fused:
+	case c.block != nil:
 		// Fused path: scores stream chunk-wise into a bounded-heap selection;
 		// no full score vector exists.
-		top = models.ScoreBlockTopK(bs, &sc.topk, u, cand, k)
+		top = models.ScoreBlockTopK(c.block, &sc.topk, u, cand, k)
 	default:
 		// Partial selection over a materialised score vector (scorers without
 		// block scoring, e.g. per-client adapters).
-		scores := scoreItems(s, &sc.scores, u, cand)
+		scores := c.scoreItems(&sc.scores, u, cand)
 		sc.top = metrics.TopKInto(sc.top, scores, k)
 		top = sc.top
 	}
@@ -267,17 +355,75 @@ func (e *Evaluator) evalUser(s Scorer, sc *scratch, i, k int) (recall, ndcg floa
 		ranked = append(ranked, cand[idx])
 	}
 	sc.ranked = ranked
-	clear(sc.relevant)
-	for _, v := range e.sp.Test[u] {
-		sc.relevant[v] = true
+	return e.userMetrics(ranked, sc.relevant, u, k)
+}
+
+// evalUserBatch ranks users [b, be) of e.users through the batched multi-user
+// logit engine: the batch's logits for each evalScoreChunk-wide item window
+// come from one ScoreUsersBlockLogitsInto call, each user's ascending cached
+// candidate list is walked across the window pushing (item, logit) into that
+// user's logit-domain selector, and each selector's winners are the user's
+// ranked items.
+//
+// Bitwise equivalence with the single-user engine, piece by piece: the logit
+// windows match ScoreBlockLogitsInto's values for any window boundary
+// (per-element independence, the MultiBlockScorer contract), so scoring the
+// whole universe and reading only candidate positions yields exactly the
+// logits of scoring the candidate list directly; candidate lists are
+// ascending in item id, so pushing item ids preserves the single-user path's
+// (score desc, position asc) selection order; and LogitTopKSelector resolves
+// σ-collapsed ties exactly as the probability-domain selector does. Only the
+// sigmoid count differs — paid per heap insertion here, per candidate there.
+func (e *Evaluator) evalUserBatch(mbs models.MultiBlockScorer, sc *batchScratch, b, be, k int, recalls, ndcgs []float64) {
+	n := be - b
+	users := e.users[b:be]
+	for i := 0; i < n; i++ {
+		kSel := k
+		if cl := len(e.cache.List(b + i)); kSel > cl {
+			kSel = cl
+		}
+		sc.resetSel(i, kSel)
+		sc.cursors[i] = 0
 	}
-	return metrics.RecallAtK(ranked, sc.relevant, k), metrics.NDCGAtK(ranked, sc.relevant, k)
+	for lo := 0; lo < e.sp.NumItems; lo += evalScoreChunk {
+		hi := lo + evalScoreChunk
+		if hi > e.sp.NumItems {
+			hi = e.sp.NumItems
+		}
+		m := sc.scoreMat(n, hi-lo)
+		mbs.ScoreUsersBlockLogitsInto(m, users, e.ident[lo:hi])
+		for i := 0; i < n; i++ {
+			cand := e.cache.List(b + i)
+			row := m.Row(i)
+			cur := sc.cursors[i]
+			for cur < len(cand) && int(cand[cur]) < hi {
+				v := int(cand[cur])
+				sc.sels[i].Push(v, row[v-lo])
+				cur++
+			}
+			sc.cursors[i] = cur
+		}
+	}
+	for i := 0; i < n; i++ {
+		sc.ranked = sc.sels[i].Into(sc.ranked)
+		recalls[b+i], ndcgs[b+i] = e.userMetrics(sc.ranked, sc.relevant, e.users[b+i], k)
+	}
+}
+
+// userMetrics computes one user's Recall@k and NDCG@k from their ranked item
+// list, rebuilding the relevance set in the worker's scratch map.
+func (e *Evaluator) userMetrics(ranked []int, relevant map[int]bool, u, k int) (recall, ndcg float64) {
+	clear(relevant)
+	for _, v := range e.sp.Test[u] {
+		relevant[v] = true
+	}
+	return metrics.RecallAtK(ranked, relevant, k), metrics.NDCGAtK(ranked, relevant, k)
 }
 
 // Ranking evaluates the scorer on a split at cutoff k with GOMAXPROCS
 // workers. For each user with held-out items, every non-train item is scored;
 // train positives are excluded from the candidate list.
-func Ranking(s Scorer, sp *data.Split, k int) Result {
+func Ranking(s models.Scorer, sp *data.Split, k int) Result {
 	return RankingWorkers(s, sp, k, 0)
 }
 
@@ -285,7 +431,7 @@ func Ranking(s Scorer, sp *data.Split, k int) Result {
 // GOMAXPROCS). It streams candidates from the train mask in per-worker
 // scratch — no cache is allocated; callers that evaluate the same split every
 // round should hold a persistent Evaluator instead, which additionally caches
-// the candidate lists.
-func RankingWorkers(s Scorer, sp *data.Split, k, workers int) Result {
+// the candidate lists and unlocks the batched multi-user engine.
+func RankingWorkers(s models.Scorer, sp *data.Split, k, workers int) Result {
 	return newStreamingEvaluator(sp).Rank(s, k, workers)
 }

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"ptffedrec/internal/data"
+	"ptffedrec/internal/models"
 	"ptffedrec/internal/rng"
 )
 
@@ -12,7 +13,7 @@ func TestRankingPerfectOracle(t *testing.T) {
 	d := data.Generate(data.Tiny, 3)
 	sp := d.Split(rng.New(1), 0.2)
 	// Oracle scores test items 1, everything else 0.
-	oracle := ScorerFunc(func(u int, items []int) []float64 {
+	oracle := models.ScorerFunc(func(u int, items []int) []float64 {
 		out := make([]float64, len(items))
 		for i, v := range items {
 			if sp.InTest(u, v) {
@@ -34,7 +35,7 @@ func TestRankingPerfectOracle(t *testing.T) {
 func TestRankingAntiOracle(t *testing.T) {
 	d := data.Generate(data.Tiny, 3)
 	sp := d.Split(rng.New(1), 0.2)
-	anti := ScorerFunc(func(u int, items []int) []float64 {
+	anti := models.ScorerFunc(func(u int, items []int) []float64 {
 		out := make([]float64, len(items))
 		for i, v := range items {
 			if sp.InTest(u, v) {
@@ -55,7 +56,7 @@ func TestRankingExcludesTrainItems(t *testing.T) {
 	d := data.Generate(data.Tiny, 3)
 	sp := d.Split(rng.New(1), 0.2)
 	sawTrain := false
-	probe := ScorerFunc(func(u int, items []int) []float64 {
+	probe := models.ScorerFunc(func(u int, items []int) []float64 {
 		for _, v := range items {
 			if sp.InTrain(u, v) {
 				sawTrain = true
@@ -80,7 +81,7 @@ func TestRankingSkipsUsersWithoutTest(t *testing.T) {
 		t.Fatal(err)
 	}
 	sp := dd.Split(rng.New(2), 0.2)
-	res := Ranking(ScorerFunc(func(u int, items []int) []float64 {
+	res := Ranking(models.ScorerFunc(func(u int, items []int) []float64 {
 		return make([]float64, len(items))
 	}), sp, 5)
 	if res.Users != 1 {

@@ -3,7 +3,6 @@ package fed
 import (
 	"testing"
 
-	"ptffedrec/internal/eval"
 	"ptffedrec/internal/graph"
 	"ptffedrec/internal/models"
 )
@@ -26,7 +25,7 @@ func (s *scalarModel) ScoreItemsInto(dst []float64, u int, items []int) []float6
 	return s.m.(models.InplaceScorer).ScoreItemsInto(dst, u, items)
 }
 func (s *scalarModel) WarmScoring() {
-	if w, ok := s.m.(eval.Warmer); ok {
+	if w, ok := s.m.(models.Warmer); ok {
 		w.WarmScoring()
 	}
 }

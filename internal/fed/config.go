@@ -117,6 +117,14 @@ type Config struct {
 	// and for invariance tests.
 	DisperseScalar bool
 
+	// EvalSingleUser forces server-side evaluation through the single-user
+	// probability-domain engine (one fused ScoreBlockTopK selection per user)
+	// instead of the multi-user batched logit engine. Results are
+	// bitwise-identical either way — the knob exists as the timing baseline
+	// for the scalability experiment's eval-users-scalar/eval-users-spdup
+	// columns and for invariance tests, mirroring DisperseScalar.
+	EvalSingleUser bool
+
 	// Faults optionally injects client dropouts and truncated uploads to
 	// exercise the protocol's robustness (zero value = no faults).
 	Faults FaultPlan

@@ -103,13 +103,14 @@ func disperseArms(cfg *Config) (nConf, nHard int, confRandom, hardRandom bool) {
 	return nConf, nHard, confRandom, hardRandom
 }
 
-// pushEligibleWindow streams one chunk's eligible scores into a selector:
-// every item in [lo, hi) outside the exclusion bitset is pushed with its
-// score from scoresRow (indexed relative to lo), in ascending item order.
-// The walk runs over the bitset's complement words — 64 memberships per
-// load, the same machinery as candset.AppendComplement windowed to the chunk
-// — so eligibility costs bitset words, not a materialised list.
-func pushEligibleWindow(sel *metrics.TopKSelector, excluded *bitset.Set, scoresRow []float64, lo, hi int) {
+// pushEligibleWindow streams one chunk's eligible logits into a selector:
+// every item in [lo, hi) outside the exclusion bitset is pushed with its raw
+// logit from scoresRow (indexed relative to lo), in ascending item order —
+// exactly the push order metrics.LogitTopKSelector's tie-safe contract
+// requires. The walk runs over the bitset's complement words — 64 memberships
+// per load, the same machinery as candset.AppendComplement windowed to the
+// chunk — so eligibility costs bitset words, not a materialised list.
+func pushEligibleWindow(sel *metrics.LogitTopKSelector, excluded *bitset.Set, scoresRow []float64, lo, hi int) {
 	if excluded == nil {
 		for v := lo; v < hi; v++ {
 			sel.Push(v, scoresRow[v-lo])
@@ -216,7 +217,7 @@ type disperseBatchScratch struct {
 	scores    []float64 // batch×chunk (and batch×union) score backing
 	users     []int     // active user ids for one scoring call
 	rows      []int     // active slot index per score-matrix row
-	sels      []metrics.TopKSelector
+	sels      []metrics.LogitTopKSelector
 	top       []int
 	widened   []int // one client's eligible set widened for the random arms
 	pairUsers []int // flattened (user, item) pairs for the final re-scoring
@@ -226,7 +227,7 @@ type disperseBatchScratch struct {
 func newDisperseBatchScratch() *disperseBatchScratch {
 	return &disperseBatchScratch{
 		slots: make([]disperseSlot, disperseBatchClients),
-		sels:  make([]metrics.TopKSelector, disperseBatchClients),
+		sels:  make([]metrics.LogitTopKSelector, disperseBatchClients),
 	}
 }
 
@@ -249,10 +250,11 @@ func (sc *disperseBatchScratch) scoreMat(rows, cols int) *tensor.Matrix {
 //  2. the confidence half walks the round's shared ranking per client (or
 //     draws from the client's own stream in the random arms);
 //  3. the hard half scores the batch against the item universe in
-//     disperseScoreChunk-wide multi-user GEMM calls, streaming each chunk's
-//     eligible scores into per-client bounded-heap selectors via windowed
-//     word walks over the upload bitsets — no per-item membership probes and
-//     no full score vectors;
+//     disperseScoreChunk-wide multi-user logit GEMM calls, streaming each
+//     chunk's eligible logits into per-client bounded-heap logit-domain
+//     selectors via windowed word walks over the upload bitsets — no
+//     per-item membership probes, no full score vectors, and sigmoids only
+//     for candidates that reach a heap;
 //  4. the final re-scoring of every client's chosen items runs as one
 //     ragged pair-batched multi-user pass.
 //
@@ -327,12 +329,16 @@ func (sv *Server) disperseBatch(mbs models.MultiBlockScorer, slots []disperseSlo
 		}
 	} else if nHard > 0 {
 		// Batched top-K: score the whole batch chunk-by-chunk over the item
-		// universe; per client, a windowed word walk over the upload bitset's
-		// complement pushes exactly the eligible (item, score) pairs into
-		// that client's selector, in ascending item order, reading four bytes
-		// of bitset per 64 memberships. Pushing item ids preserves the scalar
-		// path's (score desc, item asc) selection order, because the scalar
-		// path's eligible-list indices are themselves ascending in item id.
+		// universe in logit domain; per client, a windowed word walk over the
+		// upload bitset's complement pushes exactly the eligible
+		// (item, logit) pairs into that client's logit-domain selector, in
+		// ascending item order, reading four bytes of bitset per 64
+		// memberships. Pushing item ids preserves the scalar path's
+		// (score desc, item asc) selection order, because the scalar path's
+		// eligible-list indices are themselves ascending in item id; the
+		// selector resolves σ-collapsed ties identically to the scalar path's
+		// probability-domain selection, so only the sigmoid count changes —
+		// paid per heap insertion instead of per eligible item.
 		active := sc.users[:0]
 		rows := sc.rows[:0]
 		for si := range slots {
@@ -356,7 +362,7 @@ func (sv *Server) disperseBatch(mbs models.MultiBlockScorer, slots []disperseSlo
 					hi = sv.numItems
 				}
 				m := sc.scoreMat(len(rows), hi-lo)
-				mbs.ScoreUsersBlockInto(m, active, sv.ident[lo:hi])
+				mbs.ScoreUsersBlockLogitsInto(m, active, sv.ident[lo:hi])
 				for row, si := range rows {
 					pushEligibleWindow(&sc.sels[row], slots[si].c.lastUpload, m.Row(row), lo, hi)
 				}

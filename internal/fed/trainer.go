@@ -264,7 +264,7 @@ func (t *Trainer) runRound(round int, withEval bool) (RoundStats, eval.Result) {
 	phaseStart = time.Now()
 	// Warm before an overlapped eval unconditionally; otherwise only a
 	// parallel dispersal with work to do needs the shared caches hot.
-	if w, ok := t.server.model.(eval.Warmer); ok && (withEval || (workers > 1 && len(results) > 0)) {
+	if w, ok := t.server.model.(models.Warmer); ok && (withEval || (workers > 1 && len(results) > 0)) {
 		w.WarmScoring()
 	}
 	var evalRes eval.Result
@@ -369,7 +369,7 @@ func (t *Trainer) BenchDispersal(passes int) (batchedSecs, scalarSecs float64, i
 	if !ok || t.cfg.Alpha <= 0 || passes <= 0 {
 		return 0, 0, true
 	}
-	if w, ok := t.server.model.(eval.Warmer); ok {
+	if w, ok := t.server.model.(models.Warmer); ok {
 		w.WarmScoring()
 	}
 	plan := t.server.buildDispersalPlan()
@@ -511,9 +511,16 @@ func (t *Trainer) Run() (*History, error) {
 }
 
 // splitEvaluator returns the trainer's round-cached evaluator, building the
-// candidate cache on first use.
+// candidate cache on first use. The engine knob is applied once at build time
+// — evaluation may run overlapped with dispersal, so the evaluator must not
+// be reconfigured mid-flight. Evaluators installed via ShareEvaluator keep
+// their own knob settings.
 func (t *Trainer) splitEvaluator() *eval.Evaluator {
-	return eval.LazyEvaluator(&t.evaluator, t.split)
+	if t.evaluator == nil {
+		t.evaluator = eval.NewEvaluator(t.split)
+		t.evaluator.SingleUser = t.cfg.EvalSingleUser
+	}
+	return t.evaluator
 }
 
 // ShareEvaluator hands the trainer a prebuilt candidate cache for its split.
@@ -536,7 +543,7 @@ func (t *Trainer) EvaluateServer() eval.Result {
 // evaluation is safe because each user's scores come from that user's own
 // model: no two workers ever touch the same client.
 func (t *Trainer) EvaluateClients() eval.Result {
-	scorer := eval.ScorerFunc(func(u int, items []int) []float64 {
+	scorer := models.ScorerFunc(func(u int, items []int) []float64 {
 		return t.clients[u].model.ScoreItems(0, items)
 	})
 	return t.splitEvaluator().Rank(scorer, t.cfg.EvalK, t.cfg.EvalWorkers)

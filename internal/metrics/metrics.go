@@ -2,11 +2,20 @@
 // Recall@K and NDCG@K for recommendation quality (computed over all items the
 // user has not interacted with, as in §IV-B) and the F1 score for the Top
 // Guess Attack's inference quality.
+//
+// It also hosts the selection engine those measures run on: TopK (the
+// stable-sort reference), TopKInto (bounded-heap partial selection),
+// TopKSelector (the streaming probability-domain selector), and
+// LogitTopKSelector (the streaming logit-domain selector, which defers the
+// sigmoid to the candidates that matter). All four produce the same index
+// order — (score desc, index asc) — so callers pick by cost, never by result.
 package metrics
 
 import (
 	"math"
 	"sort"
+
+	"ptffedrec/internal/nn"
 )
 
 // RecallAtK returns |topK ∩ relevant| / |relevant|.
@@ -315,6 +324,153 @@ func (s *TopKSelector) PushRow(base int, scores []float64) {
 // capacity) ordered (score desc, index asc). It consumes the selection: call
 // Reset before pushing again.
 func (s *TopKSelector) Into(dst []int) []int {
+	n := len(s.idx)
+	for end := n - 1; end > 0; end-- {
+		s.swap(0, end)
+		s.siftDown(0, end)
+	}
+	if cap(dst) < n {
+		dst = make([]int, n)
+	}
+	dst = dst[:n]
+	copy(dst, s.idx)
+	return dst
+}
+
+// LogitTopKSelector is the logit-domain half of the selection engine: callers
+// push raw logits and the selector keeps the k candidates whose probabilities
+// σ(logit) are highest, computing σ (nn.Sigmoid) lazily — only for pushes that
+// survive the logit-domain reject test, roughly k·ln(n/k) of n pushes —
+// instead of once per candidate. Into yields the selected indices in
+// (σ(logit) desc, index asc) order, bitwise-identical to a TopKSelector fed
+// σ(logit) for every push.
+//
+// Tie safety is the subtle part of that equivalence. σ is monotone
+// non-decreasing but not injective in floats: distinct logits collapse to the
+// same probability wherever σ's slope drops below the local ulp spacing (the
+// saturated tails, but also adjacent doubles anywhere), so a logit-domain
+// strict comparison would order candidates that the probability domain ties —
+// and ties break toward the smaller index. The selector therefore imposes one
+// contract: within a selection, indices must be pushed in ascending order
+// (true of every scoring stream in this codebase — candidate lists and item
+// universes are walked ascending). Then a newcomer can only lose a
+// probability tie, so "logit ≤ worst kept logit" is a sound reject — monotone
+// σ makes the newcomer's probability ≤ the worst kept probability, and
+// equality is a tie the newcomer's larger index loses — and every surviving
+// push compares and stores exact probabilities, keeping the heap's order
+// identical to the probability-domain selector's.
+//
+// The zero value is unusable: call Reset(k) before each selection.
+type LogitTopKSelector struct {
+	k     int
+	idx   []int
+	logit []float64
+	prob  []float64
+}
+
+// Reset prepares the selector for a fresh selection of up to k indices,
+// retaining the previous selection's storage.
+func (s *LogitTopKSelector) Reset(k int) {
+	s.k = k
+	s.idx = s.idx[:0]
+	s.logit = s.logit[:0]
+	s.prob = s.prob[:0]
+}
+
+// ResetBacked is Reset with caller-provided backing: idx, logit and prob must
+// have capacity ≥ k and belong to this selector alone. Callers running many
+// selectors per batch slice the backings out of three shared slabs, so a
+// batch scratch costs three allocations instead of three per selector — the
+// heap never outgrows k, so the slab segments never reallocate.
+func (s *LogitTopKSelector) ResetBacked(k int, idx []int, logit, prob []float64) {
+	s.k = k
+	s.idx = idx[:0]
+	s.logit = logit[:0]
+	s.prob = prob[:0]
+}
+
+// worse reports whether heap slot a holds a worse candidate than slot b —
+// lower probability, or equal probability and larger index. The heap order is
+// entirely probability-domain; logits are carried only for Push's reject test.
+func (s *LogitTopKSelector) worse(a, b int) bool {
+	if s.prob[a] != s.prob[b] {
+		return s.prob[a] < s.prob[b]
+	}
+	return s.idx[a] > s.idx[b]
+}
+
+func (s *LogitTopKSelector) swap(a, b int) {
+	s.idx[a], s.idx[b] = s.idx[b], s.idx[a]
+	s.logit[a], s.logit[b] = s.logit[b], s.logit[a]
+	s.prob[a], s.prob[b] = s.prob[b], s.prob[a]
+}
+
+func (s *LogitTopKSelector) siftDown(i, size int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < size && s.worse(l, m) {
+			m = l
+		}
+		if r < size && s.worse(r, m) {
+			m = r
+		}
+		if m == i {
+			return
+		}
+		s.swap(i, m)
+		i = m
+	}
+}
+
+// Push offers one (index, logit) pair. Indices must be distinct and ascending
+// within a selection (see the type comment); logits may repeat freely. The
+// overwhelmingly common case on a full selection — the newcomer's logit does
+// not beat the worst kept candidate's — returns from this small, inlinable
+// wrapper without computing a sigmoid; the σ evaluation and heap maintenance
+// live in pushHeap.
+func (s *LogitTopKSelector) Push(i int, logit float64) {
+	if s.k <= 0 || (len(s.idx) == s.k && logit <= s.logit[0]) {
+		return
+	}
+	s.pushHeap(i, logit)
+}
+
+// pushHeap inserts a pair that survived Push's logit-domain reject test:
+// growing the heap while it is below k, otherwise comparing exact
+// probabilities against the root — where a collapsed tie still rejects the
+// newcomer (larger index) — and replacing it on a genuine win.
+func (s *LogitTopKSelector) pushHeap(i int, logit float64) {
+	p := nn.Sigmoid(logit)
+	if len(s.idx) < s.k {
+		s.idx = append(s.idx, i)
+		s.logit = append(s.logit, logit)
+		s.prob = append(s.prob, p)
+		for c := len(s.idx) - 1; c > 0; {
+			par := (c - 1) / 2
+			if !s.worse(c, par) {
+				break
+			}
+			s.swap(c, par)
+			c = par
+		}
+		return
+	}
+	if p <= s.prob[0] {
+		// The logits differed but the probabilities collapsed (p == root's) —
+		// the ascending-index contract makes the newcomer the tie's loser — or
+		// p < root's, which monotone σ permits only through rounding; either
+		// way the probability domain rejects.
+		return
+	}
+	s.idx[0], s.logit[0], s.prob[0] = i, logit, p
+	s.siftDown(0, s.k)
+}
+
+// Into writes the selected indices into dst (reusing its storage when it has
+// capacity) ordered (σ(logit) desc, index asc). It consumes the selection:
+// call Reset before pushing again.
+func (s *LogitTopKSelector) Into(dst []int) []int {
 	n := len(s.idx)
 	for end := n - 1; end > 0; end-- {
 		s.swap(0, end)

@@ -77,7 +77,7 @@ func (m *LightGCN) propagate() *tensor.Matrix {
 	return final
 }
 
-// WarmScoring implements eval.Warmer: it forces the propagation cache so
+// WarmScoring implements Warmer: it forces the propagation cache so
 // concurrent ScoreItems calls are pure reads.
 func (m *LightGCN) WarmScoring() { m.propagate() }
 
@@ -105,27 +105,41 @@ func (m *LightGCN) ScoreItemsInto(dst []float64, u int, items []int) []float64 {
 	return out
 }
 
-// ScoreBlockInto implements BlockScorer: one fused row-gather GEMV against
-// the propagated embedding matrix scores the whole candidate list (sharded
-// over the TrainWorkers pool for very long lists).
-func (m *LightGCN) ScoreBlockInto(dst []float64, u int, items []int) {
+// ScoreBlockLogitsInto implements BlockScorer's logit-domain half: one fused
+// row-gather GEMV against the propagated embedding matrix produces the whole
+// candidate list's raw dot products (sharded over the TrainWorkers pool for
+// very long lists).
+func (m *LightGCN) ScoreBlockLogitsInto(dst []float64, u int, items []int) {
 	checkBlock(dst, items)
 	f := m.propagate()
 	tensor.GatherMulVecIntoPar(dst, f, items, m.cfg.NumUsers, f.Row(u), m.workers)
+}
+
+// ScoreBlockInto implements BlockScorer: the logit kernel with the sigmoid
+// applied at this call boundary, per the contract.
+func (m *LightGCN) ScoreBlockInto(dst []float64, u int, items []int) {
+	m.ScoreBlockLogitsInto(dst, u, items)
 	sigmoidVec(dst)
 }
 
-// ScoreUsersBlockInto implements MultiBlockScorer: one double-gathered GEMM
-// against the propagated embedding matrix scores the whole user batch.
-func (m *LightGCN) ScoreUsersBlockInto(dst *tensor.Matrix, users []int, items []int) {
+// ScoreUsersBlockLogitsInto implements MultiBlockScorer's logit-domain half:
+// one double-gathered GEMM against the propagated embedding matrix produces
+// the whole user batch's raw dot products.
+func (m *LightGCN) ScoreUsersBlockLogitsInto(dst *tensor.Matrix, users []int, items []int) {
 	checkUsersBlock(dst, users, items)
 	f := m.propagate()
 	tensor.GatherMulMatInto(dst, f, users, 0, f, items, m.cfg.NumUsers)
+}
+
+// ScoreUsersBlockInto implements MultiBlockScorer: the logit kernel with the
+// sigmoid applied at this call boundary, per the contract.
+func (m *LightGCN) ScoreUsersBlockInto(dst *tensor.Matrix, users []int, items []int) {
+	m.ScoreUsersBlockLogitsInto(dst, users, items)
 	sigmoidData(dst)
 }
 
 // ScorePairsInto implements MultiBlockScorer's ragged half: one gathered
-// pair-dot pass over the propagated embedding matrix.
+// pair-dot pass over the propagated embedding matrix, then the sigmoid.
 func (m *LightGCN) ScorePairsInto(dst []float64, users []int, items []int) {
 	checkPairs(dst, users, items)
 	f := m.propagate()

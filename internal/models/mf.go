@@ -56,55 +56,69 @@ func (m *MF) ScoreItemsInto(dst []float64, u int, items []int) []float64 {
 	return out
 }
 
-// ScoreBlockInto implements BlockScorer: one fused row-gather GEMV against
-// the dense item-embedding matrix scores the whole candidate list (sharded
-// over the TrainWorkers pool for very long lists). Lazy item tables have no
-// dense matrix to multiply against, so they keep the per-item loop (which
-// materialises rows and is therefore single-goroutine anyway).
-func (m *MF) ScoreBlockInto(dst []float64, u int, items []int) {
+// ScoreBlockLogitsInto implements BlockScorer's logit-domain half: one fused
+// row-gather GEMV against the dense item-embedding matrix produces the whole
+// candidate list's raw dot products (sharded over the TrainWorkers pool for
+// very long lists). Lazy item tables have no dense matrix to multiply
+// against, so they keep the per-item loop (which materialises rows and is
+// therefore single-goroutine anyway).
+func (m *MF) ScoreBlockLogitsInto(dst []float64, u int, items []int) {
 	checkBlock(dst, items)
 	p := m.users.Row(u)
 	if t, ok := m.items.(*emb.Table); ok {
 		tensor.GatherMulVecIntoPar(dst, t.W, items, 0, p, m.workers)
-		sigmoidVec(dst)
 		return
 	}
 	for i, v := range items {
-		dst[i] = nn.Sigmoid(dot(p, m.items.Row(v)))
+		dst[i] = dot(p, m.items.Row(v))
 	}
 }
 
-// ScoreUsersBlockInto implements MultiBlockScorer: one double-gathered GEMM
-// against the dense embedding tables scores the whole user batch. Lazy
-// tables fall back to per-user block scoring row by row.
-func (m *MF) ScoreUsersBlockInto(dst *tensor.Matrix, users []int, items []int) {
+// ScoreBlockInto implements BlockScorer: the logit kernel with the sigmoid
+// applied at this call boundary, per the contract.
+func (m *MF) ScoreBlockInto(dst []float64, u int, items []int) {
+	m.ScoreBlockLogitsInto(dst, u, items)
+	sigmoidVec(dst)
+}
+
+// ScoreUsersBlockLogitsInto implements MultiBlockScorer's logit-domain half:
+// one double-gathered GEMM against the dense embedding tables produces the
+// whole user batch's raw dot products. Lazy tables fall back to per-user
+// logit scoring row by row.
+func (m *MF) ScoreUsersBlockLogitsInto(dst *tensor.Matrix, users []int, items []int) {
 	checkUsersBlock(dst, users, items)
 	ut, uok := m.users.(*emb.Table)
 	it, iok := m.items.(*emb.Table)
 	if uok && iok {
 		tensor.GatherMulMatInto(dst, ut.W, users, 0, it.W, items, 0)
-		sigmoidData(dst)
 		return
 	}
 	for i, u := range users {
-		m.ScoreBlockInto(dst.Row(i), u, items)
+		m.ScoreBlockLogitsInto(dst.Row(i), u, items)
 	}
 }
 
+// ScoreUsersBlockInto implements MultiBlockScorer: the logit kernel with the
+// sigmoid applied at this call boundary, per the contract.
+func (m *MF) ScoreUsersBlockInto(dst *tensor.Matrix, users []int, items []int) {
+	m.ScoreUsersBlockLogitsInto(dst, users, items)
+	sigmoidData(dst)
+}
+
 // ScorePairsInto implements MultiBlockScorer's ragged half: one gathered
-// pair-dot pass over the dense embedding tables.
+// pair-dot pass over the dense embedding tables, then the sigmoid.
 func (m *MF) ScorePairsInto(dst []float64, users []int, items []int) {
 	checkPairs(dst, users, items)
 	ut, uok := m.users.(*emb.Table)
 	it, iok := m.items.(*emb.Table)
 	if uok && iok {
 		tensor.GatherPairDotInto(dst, ut.W, users, 0, it.W, items, 0)
-		sigmoidVec(dst)
-		return
+	} else {
+		for p, u := range users {
+			dst[p] = dot(m.users.Row(u), m.items.Row(items[p]))
+		}
 	}
-	for p, u := range users {
-		dst[p] = nn.Sigmoid(dot(m.users.Row(u), m.items.Row(items[p])))
-	}
+	sigmoidVec(dst)
 }
 
 // TrainBatch implements Recommender.

@@ -49,6 +49,34 @@ type GraphRecommender interface {
 	SetGraph(g *graph.Bipartite)
 }
 
+// Scorer is the minimal scoring capability — one user against a list of
+// candidate items — and the root of the scoring interface family consumed by
+// the evaluator and the dispersal engine (InplaceScorer, BlockScorer, and
+// MultiBlockScorer refine it). Recommender satisfies it; federated clients
+// adapt it to their local user index via ScorerFunc.
+//
+// A Scorer handed to a parallel consumer must tolerate concurrent ScoreItems
+// calls for distinct users (no consumer scores the same user from two
+// goroutines). Scorers whose first call lazily builds shared state should
+// implement Warmer.
+type Scorer interface {
+	ScoreItems(u int, items []int) []float64
+}
+
+// ScorerFunc adapts a function to the Scorer interface.
+type ScorerFunc func(u int, items []int) []float64
+
+// ScoreItems implements Scorer.
+func (f ScorerFunc) ScoreItems(u int, items []int) []float64 { return f(u, items) }
+
+// Warmer is an optional Scorer extension. WarmScoring precomputes any lazily
+// cached shared state (e.g. a graph model's propagated embeddings) so that
+// subsequent scoring calls are read-only and safe to issue concurrently.
+// Parallel consumers invoke it once before fanning out to workers.
+type Warmer interface {
+	WarmScoring()
+}
+
 // InplaceScorer is implemented by models whose batch scoring can reuse a
 // caller-provided buffer. ScoreItemsInto returns a slice of len(items) backed
 // by dst when dst has the capacity, avoiding a per-call allocation on the
@@ -58,22 +86,33 @@ type InplaceScorer interface {
 }
 
 // BlockScorer is the batched scoring engine's contract, implemented by every
-// model in this package. ScoreBlockInto fills dst — which must have length
-// len(items) — with σ(logit) for user u against each candidate item, scoring
-// the whole block through matrix kernels: MF and the graph models run one
-// fused row-gather GEMV against the (propagated) item-embedding matrix, and
-// NeuMF batches its MLP forward over fixed-size candidate chunks through a
-// pooled workspace.
+// model in this package. Both methods fill dst — which must have length
+// len(items) — with user u's value for each candidate item, scoring the whole
+// block through matrix kernels: MF and the graph models run one fused
+// row-gather GEMV against the (propagated) item-embedding matrix, and NeuMF
+// batches its MLP forward over fixed-size candidate chunks through a pooled
+// workspace.
+//
+// Sigmoid placement is an explicit part of the contract, not an
+// implementation detail of each model: ScoreBlockLogitsInto produces the raw
+// pre-sigmoid logits, and ScoreBlockInto is exactly those logits passed
+// element-wise through σ (nn.Sigmoid) at the call boundary. Selection
+// consumers use the logit entry point and rank under
+// metrics.LogitTopKSelector's tie-safe contract — σ is monotone, so order is
+// preserved, but float rounding can collapse distinct logits to equal
+// probabilities, which the selector resolves exactly — paying σ only for the
+// candidates that reach the heap instead of once per item scored.
 //
 // The contract is strict: for any dst/items, ScoreBlockInto produces scores
 // bitwise-identical to the per-item ScoreItemsInto path, so evaluation
 // metrics, dispersal plans, and training histories do not depend on which
 // path a caller takes. Like ScoreItems, concurrent calls for distinct users
-// are safe once lazily built shared state is warm (eval.Warmer) and the
-// model's tables are dense; Lazy models materialise rows on read and must be
-// scored from one goroutine.
+// are safe once lazily built shared state is warm (Warmer) and the model's
+// tables are dense; Lazy models materialise rows on read and must be scored
+// from one goroutine.
 type BlockScorer interface {
 	ScoreBlockInto(dst []float64, u int, items []int)
+	ScoreBlockLogitsInto(dst []float64, u int, items []int)
 }
 
 // scoreBuf returns a zero-length slice with capacity for n scores, reusing

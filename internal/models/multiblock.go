@@ -15,23 +15,36 @@ import (
 // embedding matrices, and NeuMF streams each user's row through its pooled
 // chunked MLP forwards.
 //
+// Sigmoid placement follows BlockScorer's contract: ScoreUsersBlockLogitsInto
+// is the logit-domain entry point — the same kernels stopping before the
+// sigmoid — and ScoreUsersBlockInto is exactly those logits passed
+// element-wise through σ at the call boundary. The batched evaluation and
+// dispersal engines score logits and select under
+// metrics.LogitTopKSelector's tie-safe contract, applying σ only to the
+// winners they keep.
+//
 // The contract is strict: dst.Row(i) is bitwise-identical to
-// ScoreBlockInto(row, users[i], items) — and therefore to the per-item
-// scoring path — for any batch composition, so dispersal plans and training
-// histories do not depend on how clients are grouped into score batches.
-// Concurrency follows BlockScorer's rules: calls for disjoint user batches
-// are safe once lazily built shared state is warm (eval.Warmer) and the
-// model's tables are dense; Lazy models materialise rows on read and must be
-// scored from one goroutine.
+// ScoreBlockInto(row, users[i], items) — logit rows to
+// ScoreBlockLogitsInto(row, users[i], items) — and therefore to the per-item
+// scoring path, for any batch composition, so evaluation metrics, dispersal
+// plans, and training histories do not depend on how users are grouped into
+// score batches. Concurrency follows BlockScorer's rules: calls for disjoint
+// user batches are safe once lazily built shared state is warm (Warmer) and
+// the model's tables are dense; Lazy models materialise rows on read and must
+// be scored from one goroutine.
+//
 // ScorePairsInto is the contract's ragged half: dst[p] = σ(logit) for the
 // pair (users[p], items[p]). It batches scoring passes whose per-user item
 // lists differ — dispersal's final re-scoring concatenates every client's
 // chosen items into one pair list — through the gathered pair-dot kernels
 // (tensor.GatherPairDotInto) or, for NeuMF, the same pooled chunked forwards
 // with per-row users. Values are bitwise-identical to scoring each pair
-// through the per-user paths.
+// through the per-user paths. It stays σ-domain only: its consumers ship the
+// probabilities over the wire, so every pair's sigmoid is paid regardless and
+// a logit variant would have no caller.
 type MultiBlockScorer interface {
 	ScoreUsersBlockInto(dst *tensor.Matrix, users []int, items []int)
+	ScoreUsersBlockLogitsInto(dst *tensor.Matrix, users []int, items []int)
 	ScorePairsInto(dst []float64, users []int, items []int)
 }
 

@@ -238,25 +238,33 @@ func (m *NeuMF) newScoreWS() *neumfScoreWS {
 	return ws
 }
 
-// ScoreBlockInto implements BlockScorer: candidates run through the tower in
-// scoreChunkSize batches over a pooled workspace, replacing len(items)
-// single-row forwards (and their per-call allocations) with
-// ceil(len(items)/chunk) matrix products.
-func (m *NeuMF) ScoreBlockInto(dst []float64, u int, items []int) {
+// ScoreBlockLogitsInto implements BlockScorer's logit-domain half: candidates
+// run through the tower in scoreChunkSize batches over a pooled workspace,
+// replacing len(items) single-row forwards (and their per-call allocations)
+// with ceil(len(items)/chunk) matrix products, stopping at the output head's
+// raw logit.
+func (m *NeuMF) ScoreBlockLogitsInto(dst []float64, u int, items []int) {
 	checkBlock(dst, items)
 	if len(items) == 0 {
 		return
 	}
 	ws := m.scoreWS.Get().(*neumfScoreWS)
 	defer m.scoreWS.Put(ws)
-	m.scoreBlockWS(ws, dst, u, items)
+	m.scoreBlockLogitsWS(ws, dst, u, items)
 }
 
-// ScoreUsersBlockInto implements MultiBlockScorer: each user's row runs the
-// pooled chunked tower forwards, borrowing one workspace for the whole batch.
-// Every forward row depends only on its own (user, item) input row, so the
-// batch grouping never changes a score.
-func (m *NeuMF) ScoreUsersBlockInto(dst *tensor.Matrix, users []int, items []int) {
+// ScoreBlockInto implements BlockScorer: the logit forwards with the sigmoid
+// applied at this call boundary, per the contract.
+func (m *NeuMF) ScoreBlockInto(dst []float64, u int, items []int) {
+	m.ScoreBlockLogitsInto(dst, u, items)
+	sigmoidVec(dst)
+}
+
+// ScoreUsersBlockLogitsInto implements MultiBlockScorer's logit-domain half:
+// each user's row runs the pooled chunked tower forwards, borrowing one
+// workspace for the whole batch. Every forward row depends only on its own
+// (user, item) input row, so the batch grouping never changes a logit.
+func (m *NeuMF) ScoreUsersBlockLogitsInto(dst *tensor.Matrix, users []int, items []int) {
 	checkUsersBlock(dst, users, items)
 	if len(items) == 0 {
 		return
@@ -264,14 +272,21 @@ func (m *NeuMF) ScoreUsersBlockInto(dst *tensor.Matrix, users []int, items []int
 	ws := m.scoreWS.Get().(*neumfScoreWS)
 	defer m.scoreWS.Put(ws)
 	for i, u := range users {
-		m.scoreBlockWS(ws, dst.Row(i), u, items)
+		m.scoreBlockLogitsWS(ws, dst.Row(i), u, items)
 	}
 }
 
-// scoreBlockWS is the chunked-forward core shared by the single- and
+// ScoreUsersBlockInto implements MultiBlockScorer: the logit forwards with
+// the sigmoid applied at this call boundary, per the contract.
+func (m *NeuMF) ScoreUsersBlockInto(dst *tensor.Matrix, users []int, items []int) {
+	m.ScoreUsersBlockLogitsInto(dst, users, items)
+	sigmoidData(dst)
+}
+
+// scoreBlockLogitsWS is the chunked-forward core shared by the single- and
 // multi-user block scorers: one user's candidate list streams through the
 // tower in scoreChunkSize chunks over the caller's workspace.
-func (m *NeuMF) scoreBlockWS(ws *neumfScoreWS, dst []float64, u int, items []int) {
+func (m *NeuMF) scoreBlockLogitsWS(ws *neumfScoreWS, dst []float64, u int, items []int) {
 	urow := m.users.Row(u)
 	d := m.cfg.Dim
 	for off := 0; off < len(items); off += scoreChunkSize {
@@ -286,13 +301,16 @@ func (m *NeuMF) scoreBlockWS(ws *neumfScoreWS, dst []float64, u int, items []int
 			copy(row[:d], urow)
 			copy(row[d:], m.items.Row(v))
 		}
-		m.forwardChunkWS(ws, dst[off:end], x)
+		m.forwardChunkLogitsWS(ws, dst[off:end], x)
 	}
 }
 
-// forwardChunkWS runs one assembled input chunk through the tower over the
-// workspace, writing σ(logit) per row into dst.
-func (m *NeuMF) forwardChunkWS(ws *neumfScoreWS, dst []float64, x *tensor.Matrix) {
+// forwardChunkLogitsWS runs one assembled input chunk through the tower over
+// the workspace, writing the output head's raw logit per row into dst. The
+// sigmoid, when a caller wants probabilities, is applied at the block-scorer
+// call boundary — σ is element-wise, so deferring it past the chunk loop
+// cannot change a value.
+func (m *NeuMF) forwardChunkLogitsWS(ws *neumfScoreWS, dst []float64, x *tensor.Matrix) {
 	n := x.Rows
 	cur := x
 	for li, dl := range m.tower {
@@ -301,14 +319,14 @@ func (m *NeuMF) forwardChunkWS(ws *neumfScoreWS, dst []float64, x *tensor.Matrix
 	}
 	logits := m.out.ForwardInto(ws.logits.FirstRows(n), cur)
 	for i := 0; i < n; i++ {
-		dst[i] = nn.Sigmoid(logits.At(i, 0))
+		dst[i] = logits.At(i, 0)
 	}
 }
 
 // ScorePairsInto implements MultiBlockScorer's ragged half: (user, item)
-// pairs stream through the same pooled chunked forwards with a per-row user
-// embedding. Each forward row depends only on its own input row, so pair
-// batching never changes a score.
+// pairs stream through the same pooled chunked logit forwards with a per-row
+// user embedding, then the sigmoid. Each forward row depends only on its own
+// input row, so pair batching never changes a score.
 func (m *NeuMF) ScorePairsInto(dst []float64, users []int, items []int) {
 	checkPairs(dst, users, items)
 	if len(items) == 0 {
@@ -329,6 +347,7 @@ func (m *NeuMF) ScorePairsInto(dst []float64, users []int, items []int) {
 			copy(row[:d], m.users.Row(users[off+i]))
 			copy(row[d:], m.items.Row(items[off+i]))
 		}
-		m.forwardChunkWS(ws, dst[off:end], x)
+		m.forwardChunkLogitsWS(ws, dst[off:end], x)
 	}
+	sigmoidVec(dst)
 }

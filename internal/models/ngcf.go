@@ -110,7 +110,7 @@ func (m *NGCF) propagate() {
 	m.dirty = false
 }
 
-// WarmScoring implements eval.Warmer: it forces the propagation caches so
+// WarmScoring implements Warmer: it forces the propagation caches so
 // concurrent ScoreItems calls are pure reads.
 func (m *NGCF) WarmScoring() { m.propagate() }
 
@@ -152,11 +152,12 @@ func (m *NGCF) ScoreItemsInto(dst []float64, u int, items []int) []float64 {
 	return out
 }
 
-// ScoreBlockInto implements BlockScorer: one fused row-gather GEMV per layer
-// matrix, accumulated in layer order — the same left-to-right sum over layers
-// as scoreNodes — then the averaged-readout sigmoid. Very long candidate
-// lists shard over the TrainWorkers pool.
-func (m *NGCF) ScoreBlockInto(dst []float64, u int, items []int) {
+// ScoreBlockLogitsInto implements BlockScorer's logit-domain half: one fused
+// row-gather GEMV per layer matrix, accumulated in layer order — the same
+// left-to-right sum over layers as scoreNodes — then the readout scaling,
+// which is part of the logit (the sigmoid's argument), not of the sigmoid.
+// Very long candidate lists shard over the TrainWorkers pool.
+func (m *NGCF) ScoreBlockLogitsInto(dst []float64, u int, items []int) {
 	checkBlock(dst, items)
 	m.propagate()
 	for l, e := range m.outs {
@@ -168,14 +169,21 @@ func (m *NGCF) ScoreBlockInto(dst []float64, u int, items []int) {
 	}
 	scale := m.readoutScale()
 	for i, s := range dst {
-		dst[i] = nn.Sigmoid(s * scale)
+		dst[i] = s * scale
 	}
 }
 
-// ScoreUsersBlockInto implements MultiBlockScorer: one double-gathered GEMM
-// per layer matrix, accumulated in layer order like scoreNodes, then the
-// averaged-readout sigmoid over the whole batch.
-func (m *NGCF) ScoreUsersBlockInto(dst *tensor.Matrix, users []int, items []int) {
+// ScoreBlockInto implements BlockScorer: the logit kernel with the sigmoid
+// applied at this call boundary, per the contract.
+func (m *NGCF) ScoreBlockInto(dst []float64, u int, items []int) {
+	m.ScoreBlockLogitsInto(dst, u, items)
+	sigmoidVec(dst)
+}
+
+// ScoreUsersBlockLogitsInto implements MultiBlockScorer's logit-domain half:
+// one double-gathered GEMM per layer matrix, accumulated in layer order like
+// scoreNodes, then the readout scaling over the whole batch.
+func (m *NGCF) ScoreUsersBlockLogitsInto(dst *tensor.Matrix, users []int, items []int) {
 	checkUsersBlock(dst, users, items)
 	m.propagate()
 	for l, e := range m.outs {
@@ -187,13 +195,20 @@ func (m *NGCF) ScoreUsersBlockInto(dst *tensor.Matrix, users []int, items []int)
 	}
 	scale := m.readoutScale()
 	for i, s := range dst.Data {
-		dst.Data[i] = nn.Sigmoid(s * scale)
+		dst.Data[i] = s * scale
 	}
+}
+
+// ScoreUsersBlockInto implements MultiBlockScorer: the logit kernel with the
+// sigmoid applied at this call boundary, per the contract.
+func (m *NGCF) ScoreUsersBlockInto(dst *tensor.Matrix, users []int, items []int) {
+	m.ScoreUsersBlockLogitsInto(dst, users, items)
+	sigmoidData(dst)
 }
 
 // ScorePairsInto implements MultiBlockScorer's ragged half: one gathered
 // pair-dot pass per layer matrix, accumulated in layer order like
-// scoreNodes, then the averaged-readout sigmoid.
+// scoreNodes, then the scaled averaged-readout sigmoid.
 func (m *NGCF) ScorePairsInto(dst []float64, users []int, items []int) {
 	checkPairs(dst, users, items)
 	m.propagate()

@@ -28,6 +28,13 @@ type TopKScratch struct {
 // makes every chunk's scores independent of how the list is sliced — but only
 // scoreBlockTopKChunk scores ever exist at once.
 //
+// This is the single-user probability-domain engine: it scores through
+// ScoreBlockInto (σ applied to every candidate) and selects with the
+// probability-domain TopKSelector. The multi-user evaluator batches users
+// through ScoreUsersBlockLogitsInto and selects raw logits with
+// metrics.LogitTopKSelector instead — same output, fewer sigmoids — and keeps
+// this engine as its bitwise reference and timing baseline.
+//
 // The returned slice is backed by sc and valid until the next call with the
 // same scratch.
 func ScoreBlockTopK(bs BlockScorer, sc *TopKScratch, u int, items []int, k int) []int {

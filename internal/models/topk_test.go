@@ -104,7 +104,14 @@ func TestScoreBlockTopKAllocFree(t *testing.T) {
 	}
 }
 
-// blockScorerFunc adapts a function to BlockScorer for tests.
+// blockScorerFunc adapts a logit-producing function to BlockScorer for tests,
+// honoring the contract: ScoreBlockInto is the logit function plus the
+// boundary sigmoid.
 type blockScorerFunc func(dst []float64, u int, items []int)
 
-func (f blockScorerFunc) ScoreBlockInto(dst []float64, u int, items []int) { f(dst, u, items) }
+func (f blockScorerFunc) ScoreBlockLogitsInto(dst []float64, u int, items []int) { f(dst, u, items) }
+
+func (f blockScorerFunc) ScoreBlockInto(dst []float64, u int, items []int) {
+	f(dst, u, items)
+	sigmoidVec(dst)
+}

@@ -30,6 +30,29 @@ func TestForSerialPathOrdered(t *testing.T) {
 	}
 }
 
+// TestForClampsToGOMAXPROCS pins the oversubscription fix: on a
+// GOMAXPROCS=1 host, any requested worker count must degenerate to the plain
+// serial loop — no goroutines spawned, indices visited in order — because
+// extra goroutines on one schedulable thread are pure scheduler overhead.
+func TestForClampsToGOMAXPROCS(t *testing.T) {
+	old := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(old)
+	for _, workers := range []int{2, 8, 64} {
+		var got []int
+		// Appending without synchronisation is the assertion: it is only safe
+		// (and only ordered) if For ran inline on the calling goroutine.
+		For(50, workers, func(i int) { got = append(got, i) })
+		for i, v := range got {
+			if v != i {
+				t.Fatalf("workers=%d under GOMAXPROCS=1: indices out of order at %d: %v", workers, i, got[:i+1])
+			}
+		}
+		if len(got) != 50 {
+			t.Fatalf("workers=%d under GOMAXPROCS=1: visited %d of 50 indices", workers, len(got))
+		}
+	}
+}
+
 func TestWorkers(t *testing.T) {
 	if w := Workers(0); w != runtime.GOMAXPROCS(0) {
 		t.Fatalf("Workers(0) = %d, want GOMAXPROCS", w)

@@ -85,9 +85,9 @@ type (
 	// Prediction is one (user, item, score) wire triple.
 	Prediction = comm.Prediction
 	// Scorer scores one user against candidate items (models satisfy this).
-	Scorer = eval.Scorer
+	Scorer = models.Scorer
 	// ScorerFunc adapts a function to Scorer.
-	ScorerFunc = eval.ScorerFunc
+	ScorerFunc = models.ScorerFunc
 )
 
 // Model kinds.
