@@ -16,10 +16,13 @@ race:
 
 # bench runs the smoke benchmarks and regenerates the committed perf
 # trajectory record (the same sweep CI uploads as an artifact per commit).
+# -benchmem makes allocation regressions visible next to the timings — the
+# fed store/graph benchmarks must report 0 allocs/op in steady state (the
+# pin itself is TestAbsorbSteadyStateAllocs/TestCollectEdgesSteadyStateAllocs).
 # The JSON lands in a temp file first so a failed run never truncates the
 # committed record.
 bench:
-	$(GO) test -bench=. -benchtime=1x -run='^$$' .
+	$(GO) test -bench=. -benchmem -benchtime=1x -run='^$$' . ./internal/fed/
 	$(GO) run ./cmd/ptfbench -exp scalability -quick -json > BENCH_scalability.json.tmp
 	mv BENCH_scalability.json.tmp BENCH_scalability.json
 

@@ -6,6 +6,7 @@
 //	ptfbench -exp table4 -scale full     # paper-sized datasets
 //	ptfbench -exp fig3 -quick            # shortened training (smoke run)
 //	ptfbench -exp scalability -json      # machine-readable timing sweep
+//	ptfbench -exp scalability -profile huge-1m   # 1M-user memory profile
 //	ptfbench -list                       # list experiment ids
 //	ptfbench -exp all                    # run everything
 //
@@ -27,6 +28,7 @@ import (
 	"time"
 
 	"ptffedrec"
+	"ptffedrec/internal/data"
 	"ptffedrec/internal/experiments"
 )
 
@@ -48,6 +50,7 @@ func main() {
 		scale   = flag.String("scale", "small", "dataset scale: small | full")
 		quick   = flag.Bool("quick", false, "shortened training (benchmark-style smoke run)")
 		seed    = flag.Uint64("seed", 1, "experiment seed")
+		profile = flag.String("profile", "", "override the dataset profile (e.g. huge-1m for the memory-profile scalability run)")
 		list    = flag.Bool("list", false, "list experiment ids and exit")
 		verbose = flag.Bool("v", false, "log per-run progress")
 		asJSON  = flag.Bool("json", false, "emit one JSON object per experiment instead of tables")
@@ -73,6 +76,14 @@ func main() {
 	if o.Scale != experiments.ScaleSmall && o.Scale != experiments.ScaleFull {
 		fmt.Fprintf(os.Stderr, "ptfbench: unknown scale %q\n", *scale)
 		os.Exit(2)
+	}
+	if *profile != "" {
+		p, err := data.ProfileByName(*profile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ptfbench: %v\n", err)
+			os.Exit(2)
+		}
+		o.ProfilesOverride = []data.Profile{p}
 	}
 	if *verbose {
 		o.Out = os.Stderr

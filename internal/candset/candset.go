@@ -38,6 +38,12 @@ func (p *Packed) List(i int) []int32 { return p.ids[p.off[i]:p.off[i+1]] }
 // cache's memory footprint.
 func (p *Packed) TotalLen() int { return len(p.ids) }
 
+// MemoryBytes reports the cache's resident footprint: the packed int32
+// entries plus the offset index.
+func (p *Packed) MemoryBytes() int64 {
+	return int64(cap(p.ids))*4 + int64(cap(p.off))*8
+}
+
 // BuildPacked builds n packed lists on a worker pool. size(i) must return
 // list i's exact length; fill(i, dst) must write list i into dst (which has
 // that length). The layout is fixed by the size prefix-sum before any fill

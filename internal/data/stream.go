@@ -1,0 +1,139 @@
+package data
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+
+	"ptffedrec/internal/rng"
+)
+
+// This file is the streaming face of the synthetic generator: the same
+// per-user profile sequence Generate produces, delivered one user at a time
+// with O(users) scalar state instead of the materialised interaction set.
+// It exists for the huge profiles (Huge1M) where holding every profile —
+// let alone a Dataset plus a Split copy of it — would dominate the very
+// memory budget the scalability experiment measures. Equality with the
+// all-at-once path is pinned by tests: StreamUsers item-for-item against
+// Generate, StreamSplit against Generate+Split, StreamCSV byte-for-byte
+// against WriteCSV.
+
+// StreamUsers generates the profile's users in ascending order, invoking fn
+// once per user with that user's sorted, deduplicated item list. The slice
+// is reused between calls — fn must copy anything it keeps. Returning an
+// error from fn stops the stream.
+func StreamUsers(p Profile, seed uint64, fn func(u int, items []int) error) error {
+	g := newStreamGen(p, seed)
+	var buf []int
+	for u := 0; u < p.NumUsers; u++ {
+		buf = g.userItems(buf, u)
+		if err := fn(u, buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// StreamSplit generates and splits the profile in one pass, producing the
+// same Split as Generate(p, seed).Split(rng.New(seed).Derive("split:"+p.Name),
+// testFrac) — the experiment harness's split recipe — without ever holding
+// the full Dataset. Peak extra memory is the Split itself (which the caller
+// needs anyway) plus one user's scratch.
+func StreamSplit(p Profile, seed uint64, testFrac float64) *Split {
+	sp := &Split{
+		Name:     p.Name,
+		NumUsers: p.NumUsers,
+		NumItems: p.NumItems,
+		Train:    make([][]int, p.NumUsers),
+		Test:     make([][]int, p.NumUsers),
+	}
+	s := rng.New(seed).Derive("split:" + p.Name)
+	err := StreamUsers(p, seed, func(u int, items []int) error {
+		splitUser(sp, s, u, items, testFrac)
+		return nil
+	})
+	if err != nil {
+		// The callback never fails; an error here is a bug.
+		panic(err)
+	}
+	return sp
+}
+
+// splitUser partitions one user's items into sp.Train[u]/sp.Test[u],
+// consuming the split stream exactly as Dataset.Split does for that user.
+// Both implementations must stay draw-for-draw identical — Split iterates
+// users in ascending order, so the per-user stream consumption lines up.
+func splitUser(sp *Split, s *rng.Stream, u int, items []int, testFrac float64) {
+	if len(items) == 0 {
+		return
+	}
+	nTest := int(float64(len(items)) * testFrac)
+	if nTest >= len(items) {
+		nTest = len(items) - 1
+	}
+	perm := s.Perm(len(items))
+	for i, pi := range perm {
+		if i < nTest {
+			sp.Test[u] = append(sp.Test[u], items[pi])
+		} else {
+			sp.Train[u] = append(sp.Train[u], items[pi])
+		}
+	}
+	sort.Ints(sp.Train[u])
+	sort.Ints(sp.Test[u])
+}
+
+// StreamCSV streams the profile to w as "user,item" lines — byte-identical
+// to WriteCSV(Generate(p, seed), w) — and returns the dataset statistics
+// gathered along the way. Working memory stays O(one user's profile).
+func StreamCSV(w io.Writer, p Profile, seed uint64) (Stats, error) {
+	bw := bufio.NewWriter(w)
+	var interactions int
+	err := StreamUsers(p, seed, func(u int, items []int) error {
+		interactions += len(items)
+		for _, v := range items {
+			if _, err := fmt.Fprintf(bw, "%d,%d\n", u, v); err != nil {
+				return fmt.Errorf("data: write csv: %w", err)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return Stats{}, err
+	}
+	if err := bw.Flush(); err != nil {
+		return Stats{}, fmt.Errorf("data: write csv: %w", err)
+	}
+	return streamStats(p, interactions), nil
+}
+
+// StreamStats computes the profile's Table II statistics by streaming the
+// generation, never holding more than one user's profile.
+func StreamStats(p Profile, seed uint64) Stats {
+	var interactions int
+	err := StreamUsers(p, seed, func(u int, items []int) error {
+		interactions += len(items)
+		return nil
+	})
+	if err != nil {
+		panic(err) // callback never fails
+	}
+	return streamStats(p, interactions)
+}
+
+func streamStats(p Profile, interactions int) Stats {
+	st := Stats{
+		Name:         p.Name,
+		Users:        p.NumUsers,
+		Items:        p.NumItems,
+		Interactions: interactions,
+	}
+	if p.NumUsers > 0 {
+		st.AvgLength = float64(interactions) / float64(p.NumUsers)
+	}
+	if p.NumUsers > 0 && p.NumItems > 0 {
+		st.Density = float64(interactions) / (float64(p.NumUsers) * float64(p.NumItems))
+	}
+	return st
+}

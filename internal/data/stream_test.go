@@ -1,0 +1,119 @@
+package data
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"ptffedrec/internal/rng"
+)
+
+// streamProfiles are the profiles the equality tests sweep: one tiny and one
+// mid-size, covering both the empty-cluster guard path (tiny scales) and
+// realistic Zipf tails.
+var streamProfiles = []Profile{Tiny, ML100KSmall}
+
+// TestStreamUsersMatchesGenerate pins the streaming contract: the per-user
+// sequence StreamUsers emits is item-for-item identical to the materialised
+// Generate for the same (profile, seed).
+func TestStreamUsersMatchesGenerate(t *testing.T) {
+	for _, p := range streamProfiles {
+		d := Generate(p, 42)
+		u := 0
+		err := StreamUsers(p, 42, func(user int, items []int) error {
+			if user != u {
+				t.Fatalf("%s: callback user %d, want %d", p.Name, user, u)
+			}
+			if !reflect.DeepEqual(items, d.UserItems[user]) && !(len(items) == 0 && len(d.UserItems[user]) == 0) {
+				t.Fatalf("%s: user %d profile differs:\n  stream:   %v\n  generate: %v",
+					p.Name, user, items, d.UserItems[user])
+			}
+			u++
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if u != p.NumUsers {
+			t.Fatalf("%s: streamed %d users, want %d", p.Name, u, p.NumUsers)
+		}
+	}
+}
+
+// TestStreamSplitMatchesDatasetSplit pins the one-pass split against the
+// experiment harness's recipe (Generate then Dataset.Split with the derived
+// split stream): both sides must consume the split stream draw-for-draw
+// identically, so the partitions are equal per user.
+func TestStreamSplitMatchesDatasetSplit(t *testing.T) {
+	for _, p := range streamProfiles {
+		want := Generate(p, 7).Split(rng.New(7).Derive("split:"+p.Name), 0.2)
+		got := StreamSplit(p, 7, 0.2)
+		if got.Name != want.Name || got.NumUsers != want.NumUsers || got.NumItems != want.NumItems {
+			t.Fatalf("%s: split headers differ: %+v vs %+v", p.Name, got, want)
+		}
+		for u := 0; u < p.NumUsers; u++ {
+			if !equalIntSlices(got.Train[u], want.Train[u]) {
+				t.Fatalf("%s: user %d train differs:\n  stream: %v\n  split:  %v",
+					p.Name, u, got.Train[u], want.Train[u])
+			}
+			if !equalIntSlices(got.Test[u], want.Test[u]) {
+				t.Fatalf("%s: user %d test differs:\n  stream: %v\n  split:  %v",
+					p.Name, u, got.Test[u], want.Test[u])
+			}
+		}
+	}
+}
+
+// TestStreamCSVMatchesWriteCSV pins the on-disk format byte-for-byte: a
+// profile streamed to CSV must be indistinguishable from materialising the
+// Dataset and writing it, and the stats gathered along the way must match
+// the Dataset's own accounting.
+func TestStreamCSVMatchesWriteCSV(t *testing.T) {
+	for _, p := range streamProfiles {
+		d := Generate(p, 99)
+		var want bytes.Buffer
+		if err := WriteCSV(d, &want); err != nil {
+			t.Fatal(err)
+		}
+		var got bytes.Buffer
+		st, err := StreamCSV(&got, p, 99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got.Bytes(), want.Bytes()) {
+			t.Fatalf("%s: streamed CSV differs from WriteCSV(Generate(...))", p.Name)
+		}
+		if ds := d.Stats(); st != ds {
+			t.Fatalf("%s: stream stats %+v, dataset stats %+v", p.Name, st, ds)
+		}
+		if st2 := StreamStats(p, 99); st2 != st {
+			t.Fatalf("%s: StreamStats %+v, StreamCSV stats %+v", p.Name, st2, st)
+		}
+	}
+}
+
+// TestStreamGenOutOfOrderPanics pins the sequential contract: the shared
+// draw stream makes out-of-order generation silently wrong, so it must be
+// loudly wrong instead.
+func TestStreamGenOutOfOrderPanics(t *testing.T) {
+	g := newStreamGen(Tiny, 1)
+	g.userItems(nil, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("requesting user 2 after user 0 did not panic")
+		}
+	}()
+	g.userItems(nil, 2)
+}
+
+func equalIntSlices(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -3,6 +3,7 @@ package data
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"ptffedrec/internal/rng"
 )
@@ -70,11 +71,21 @@ var (
 	// Tiny is for unit tests.
 	Tiny = Profile{Name: "tiny", NumUsers: 40, NumItems: 60,
 		Interactions: 360, ZipfExponent: 1.0, Clusters: 4, ClusterBias: 0.7, MinPerUser: 5}
+
+	// Huge1M is the million-user memory workload: 1M users over an 8192-item
+	// catalogue at cross-device sparsity (≈5 interactions per user). It
+	// exists to prove the per-user server state — the flat upload store, the
+	// bounded eligibility cache, lazy client construction — stays O(bytes)
+	// per user, not O(allocations). Use the streaming generator
+	// (StreamUsers / StreamSplit / StreamCSV); materialising the full
+	// Dataset is deliberately avoided everywhere this profile is wired up.
+	Huge1M = Profile{Name: "huge-1m", NumUsers: 1_000_000, NumItems: 8192,
+		Interactions: 5_000_000, ZipfExponent: 1.05, Clusters: 64, ClusterBias: 0.7, MinPerUser: 3}
 )
 
 // ProfileByName resolves a profile from its Name field.
 func ProfileByName(name string) (Profile, error) {
-	for _, p := range []Profile{ML100K, Steam200K, Gowalla, ML100KSmall, SteamSmall, GowallaSmall, LargeScale, LargeScaleSmall, Tiny} {
+	for _, p := range []Profile{ML100K, Steam200K, Gowalla, ML100KSmall, SteamSmall, GowallaSmall, LargeScale, LargeScaleSmall, Tiny, Huge1M} {
 		if p.Name == name {
 			return p, nil
 		}
@@ -82,87 +93,141 @@ func ProfileByName(name string) (Profile, error) {
 	return Profile{}, fmt.Errorf("data: unknown profile %q", name)
 }
 
-// Generate synthesises a dataset matching the profile. The same seed always
-// produces the same dataset.
-func Generate(p Profile, seed uint64) *Dataset {
+// streamGen is the synthetic generator's sequential core: the prelude state
+// (cluster assignments, popularity structures, per-user activity) plus the
+// shared draw stream, from which per-user profiles are produced one user at
+// a time in ascending order. Working memory is O(users) scalars plus
+// O(profile length) per call — never the interaction set — which is what
+// lets huge profiles stream to disk or into a Split without materialising a
+// Dataset. Generate is a thin collector over it, so the streamed sequence is
+// byte-identical to the historical all-at-once generation for the same
+// (profile, seed).
+type streamGen struct {
+	p            Profile
+	clusterItems [][]int
+	clusterZipfs []*rng.Zipf
+	globalZipf   *rng.Zipf
+	rankToItem   []int
+	act          []float64
+	actSum       float64
+	target       float64
+	userCluster  []int
+	draw         *rng.Stream
+	next         int // next user id to generate
+}
+
+// newStreamGen runs the generation prelude — every draw before the first
+// user's items, in the historical order.
+func newStreamGen(p Profile, seed uint64) *streamGen {
 	s := rng.New(seed).Derive("synth:" + p.Name)
+	g := &streamGen{p: p}
 
 	// Assign items to clusters with Zipf-distributed global popularity.
 	itemCluster := make([]int, p.NumItems)
 	for v := range itemCluster {
 		itemCluster[v] = s.Intn(p.Clusters)
 	}
-	clusterItems := make([][]int, p.Clusters)
+	g.clusterItems = make([][]int, p.Clusters)
 	for v, c := range itemCluster {
-		clusterItems[c] = append(clusterItems[c], v)
+		g.clusterItems[c] = append(g.clusterItems[c], v)
 	}
 	// Guard against empty clusters (possible at tiny scales).
-	for c := range clusterItems {
-		if len(clusterItems[c]) == 0 {
+	for c := range g.clusterItems {
+		if len(g.clusterItems[c]) == 0 {
 			v := s.Intn(p.NumItems)
-			clusterItems[c] = append(clusterItems[c], v)
+			g.clusterItems[c] = append(g.clusterItems[c], v)
 		}
 	}
 
-	globalZipf := rng.NewZipf(s.Derive("pop"), p.NumItems, p.ZipfExponent)
+	g.globalZipf = rng.NewZipf(s.Derive("pop"), p.NumItems, p.ZipfExponent)
 	// Popularity rank permutation: rank r -> actual item id.
-	rankToItem := s.Derive("rank").Perm(p.NumItems)
+	g.rankToItem = s.Derive("rank").Perm(p.NumItems)
 
-	clusterZipfs := make([]*rng.Zipf, p.Clusters)
-	for c := range clusterZipfs {
-		clusterZipfs[c] = rng.NewZipf(s.DeriveN("cpop", c), len(clusterItems[c]), p.ZipfExponent)
+	g.clusterZipfs = make([]*rng.Zipf, p.Clusters)
+	for c := range g.clusterZipfs {
+		g.clusterZipfs[c] = rng.NewZipf(s.DeriveN("cpop", c), len(g.clusterItems[c]), p.ZipfExponent)
 	}
 
 	// Per-user activity: lognormal-ish heavy tail scaled to hit the target
 	// interaction count, floored at MinPerUser.
-	act := make([]float64, p.NumUsers)
-	var actSum float64
+	g.act = make([]float64, p.NumUsers)
 	au := s.Derive("activity")
-	for u := range act {
-		act[u] = math.Exp(au.Normal(0, 0.9))
-		actSum += act[u]
+	for u := range g.act {
+		g.act[u] = math.Exp(au.Normal(0, 0.9))
+		g.actSum += g.act[u]
 	}
-	target := float64(p.Interactions - p.MinPerUser*p.NumUsers)
-	if target < 0 {
-		target = 0
+	g.target = float64(p.Interactions - p.MinPerUser*p.NumUsers)
+	if g.target < 0 {
+		g.target = 0
 	}
 
-	userCluster := make([]int, p.NumUsers)
+	g.userCluster = make([]int, p.NumUsers)
 	uc := s.Derive("ucluster")
-	for u := range userCluster {
-		userCluster[u] = uc.Intn(p.Clusters)
+	for u := range g.userCluster {
+		g.userCluster[u] = uc.Intn(p.Clusters)
 	}
 
-	var pairs [][2]int
-	draw := s.Derive("draw")
+	g.draw = s.Derive("draw")
+	return g
+}
+
+// userItems generates user u's profile into dst (reused, returned sorted
+// ascending and deduplicated). Users must be requested in ascending order
+// starting at 0: all users share one draw stream, so the sequence of draws —
+// and with it every profile — only reproduces the all-at-once generation
+// when consumed in user order.
+func (g *streamGen) userItems(dst []int, u int) []int {
+	if u != g.next {
+		panic(fmt.Sprintf("data: streamGen user %d requested, want %d (users must stream in order)", u, g.next))
+	}
+	g.next++
+	n := g.p.MinPerUser + int(g.target*g.act[u]/g.actSum)
+	if n > g.p.NumItems {
+		n = g.p.NumItems
+	}
+	dst = dst[:0]
+	attempts := 0
+	for len(dst) < n && attempts < n*40 {
+		attempts++
+		var v int
+		if g.draw.Bernoulli(g.p.ClusterBias) {
+			ci := g.clusterItems[g.userCluster[u]]
+			v = ci[g.clusterZipfs[g.userCluster[u]].Draw()]
+		} else {
+			v = g.rankToItem[g.globalZipf.Draw()]
+		}
+		if containsInt(dst, v) {
+			continue
+		}
+		dst = append(dst, v)
+	}
+	sort.Ints(dst)
+	return dst
+}
+
+// containsInt reports whether xs holds v. Profiles are short (tens of
+// items), so the linear scan beats a map — and unlike the historical
+// per-user map it allocates nothing.
+func containsInt(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Generate synthesises a dataset matching the profile. The same seed always
+// produces the same dataset.
+func Generate(p Profile, seed uint64) *Dataset {
+	ui := make([][]int, p.NumUsers)
+	g := newStreamGen(p, seed)
+	var buf []int
 	for u := 0; u < p.NumUsers; u++ {
-		n := p.MinPerUser + int(target*act[u]/actSum)
-		if n > p.NumItems {
-			n = p.NumItems
-		}
-		seen := make(map[int]bool, n)
-		attempts := 0
-		for len(seen) < n && attempts < n*40 {
-			attempts++
-			var v int
-			if draw.Bernoulli(p.ClusterBias) {
-				ci := clusterItems[userCluster[u]]
-				v = ci[clusterZipfs[userCluster[u]].Draw()]
-			} else {
-				v = rankToItem[globalZipf.Draw()]
-			}
-			if seen[v] {
-				continue
-			}
-			seen[v] = true
-			pairs = append(pairs, [2]int{u, v})
-		}
+		buf = g.userItems(buf, u)
+		ui[u] = append(make([]int, 0, len(buf)), buf...)
 	}
-
-	d, err := NewDataset(p.Name, p.NumUsers, p.NumItems, pairs)
-	if err != nil {
-		// The generator only emits in-range ids; an error here is a bug.
-		panic(err)
-	}
-	return d
+	// userItems emits sorted, deduplicated, in-range profiles — the Dataset
+	// invariants — so the pairs round-trip through NewDataset is unnecessary.
+	return &Dataset{Name: p.Name, NumUsers: p.NumUsers, NumItems: p.NumItems, UserItems: ui}
 }

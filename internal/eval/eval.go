@@ -198,6 +198,15 @@ func newStreamingEvaluator(sp *data.Split) *Evaluator {
 // Users returns how many users the evaluator covers.
 func (e *Evaluator) Users() int { return len(e.users) }
 
+// CacheBytes reports the candidate cache's resident bytes (0 for streaming
+// evaluators) — the scalability experiment's memory-accounting hook.
+func (e *Evaluator) CacheBytes() int64 {
+	if e.cache == nil {
+		return 0
+	}
+	return e.cache.MemoryBytes()
+}
+
 // scratch is one worker's reusable state for its whole share of users on the
 // single-user paths: the widened candidate list, the score buffer (non-fused
 // paths only), the selection output, the ranked item list, the relevance set,

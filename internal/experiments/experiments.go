@@ -21,7 +21,6 @@ import (
 	"ptffedrec/internal/eval"
 	"ptffedrec/internal/fed"
 	"ptffedrec/internal/models"
-	"ptffedrec/internal/rng"
 )
 
 // Scale selects the dataset profiles.
@@ -69,10 +68,12 @@ func (o Options) logf(format string, args ...any) {
 	}
 }
 
-// split generates and splits one dataset deterministically.
+// split generates and splits one dataset deterministically. It streams the
+// generation — working memory is one user's profile plus the Split itself,
+// never the materialised Dataset — and produces output identical to
+// Generate+Dataset.Split (pinned by internal/data's stream equality tests).
 func (o Options) split(p data.Profile) *data.Split {
-	d := data.Generate(p, o.Seed)
-	return d.Split(rng.New(o.Seed).Derive("split:"+p.Name), 0.2)
+	return data.StreamSplit(p, o.Seed, 0.2)
 }
 
 // fedConfig returns the PTF-FedRec configuration for this run scale. The

@@ -7,6 +7,7 @@ import (
 	"runtime"
 	"time"
 
+	"ptffedrec/internal/comm"
 	"ptffedrec/internal/data"
 	"ptffedrec/internal/eval"
 	"ptffedrec/internal/fed"
@@ -77,6 +78,20 @@ type ScalabilityRow struct {
 	// workspace engine and the parallel CSR build attack.
 	ServerTrainSpeedup float64 `json:"server_train_speedup"`
 	GraphSpeedup       float64 `json:"graph_speedup"`
+
+	// Memory accounting for this row's trainer. PeakHeapBytes is the largest
+	// live heap observed at phase boundaries (post-GC samples, so it tracks
+	// retained state, not allocator slack). The store/cache columns are exact
+	// footprints from the components' own accounting: the server's flat
+	// upload store (slab + index), its bounded eligibility LRU, and the
+	// evaluator's packed candidate cache. BytesPerUser is the per-user
+	// server-side state — (upload store + eligibility cache) / users — the
+	// figure the flat-memory design holds flat as users grow.
+	PeakHeapBytes    uint64  `json:"peak_heap_bytes"`
+	UploadStoreBytes int64   `json:"upload_store_bytes"`
+	EligCacheBytes   int64   `json:"elig_cache_bytes"`
+	CandCacheBytes   int64   `json:"cand_cache_bytes"`
+	BytesPerUser     float64 `json:"bytes_per_user"`
 }
 
 // ScalabilityResult is the scalability experiment's report: the parallel
@@ -97,6 +112,36 @@ type ScalabilityResult struct {
 	OverlapSequentialSecs float64 `json:"overlap_sequential_secs"`
 	OverlapConcurrentSecs float64 `json:"overlap_concurrent_secs"`
 	OverlapSpeedup        float64 `json:"overlap_speedup"`
+
+	// MemoryProfile marks the huge-profile mode (NumUsers ≥
+	// memoryProfileUsers): a streamed split, lazy clients, sampled
+	// participation and no evaluation — a memory-scalability measurement
+	// with a single row, rather than a worker sweep. MapUploadStoreBytes is
+	// the retained map baseline's store footprint after the same training;
+	// the flat-vs-map round histories are cross-checked into Deterministic.
+	MemoryProfile       bool  `json:"memory_profile,omitempty"`
+	MapUploadStoreBytes int64 `json:"map_upload_store_bytes,omitempty"`
+}
+
+// memoryProfileUsers is the user count at which RunScalability switches to
+// the memory-profile mode: past it, materialising the dataset, eager
+// clients, or a full candidate cache (users × items) would dominate — or
+// exceed — the very footprint being measured.
+const memoryProfileUsers = 200_000
+
+// heapSampler tracks the largest live heap seen at sampling points. Samples
+// land right after forced GCs or phase boundaries, so the peak reflects
+// retained state rather than transient allocator slack.
+type heapSampler struct {
+	peak uint64
+	ms   runtime.MemStats
+}
+
+func (h *heapSampler) sample() {
+	runtime.ReadMemStats(&h.ms)
+	if h.ms.HeapAlloc > h.peak {
+		h.peak = h.ms.HeapAlloc
+	}
 }
 
 // scalabilityWorkerCounts returns the worker counts to sweep: doubling steps
@@ -129,6 +174,9 @@ func RunScalability(o Options) (*ScalabilityResult, error) {
 	}
 	if len(o.ProfilesOverride) > 0 {
 		p = o.ProfilesOverride[0]
+	}
+	if p.NumUsers >= memoryProfileUsers {
+		return runScalabilityMemory(o, p)
 	}
 	sp := o.split(p)
 
@@ -204,12 +252,14 @@ func RunScalability(o Options) (*ScalabilityResult, error) {
 		// segment keeps one segment's garbage from being collected on a later
 		// segment's clock — the paired engine comparisons below depend on it.
 		runtime.GC()
+		var hs heapSampler
 		rounds := make([]fed.RoundStats, 0, wcfg.Rounds)
 		start := time.Now()
 		for round := 0; round < wcfg.Rounds; round++ {
 			rounds = append(rounds, tr.RunRound(round))
 		}
 		trainSecs := time.Since(start).Seconds()
+		hs.sample()
 		phases := tr.PhaseSeconds()
 
 		// The eval engines head to head on the trained state: the multi-user
@@ -283,6 +333,9 @@ func RunScalability(o Options) (*ScalabilityResult, error) {
 			scfg := wcfg
 			scfg.DisperseScalar = true
 			scfg.EvalSingleUser = true
+			// The baseline trainer also runs the retained map upload store, so
+			// the committed bench doubles as an end-to-end flat-vs-map pin.
+			scfg.MapUploadStore = true
 			str, err := fed.NewTrainer(sp, scfg)
 			if err != nil {
 				return nil, fmt.Errorf("scalability: %w", err)
@@ -333,6 +386,14 @@ func RunScalability(o Options) (*ScalabilityResult, error) {
 		}
 		if row.EvalUsersBatchedSecs > 0 {
 			row.EvalUsersSpeedup = row.EvalUsersScalarSecs / row.EvalUsersBatchedSecs
+		}
+		hs.sample()
+		row.PeakHeapBytes = hs.peak
+		row.UploadStoreBytes = tr.Server().UploadStoreBytes()
+		row.EligCacheBytes = tr.Server().EligCacheBytes()
+		row.CandCacheBytes = evaluator.CacheBytes()
+		if sp.NumUsers > 0 {
+			row.BytesPerUser = float64(row.UploadStoreBytes+row.EligCacheBytes) / float64(sp.NumUsers)
 		}
 		if len(res.Rows) == 0 {
 			refRounds, refEval = rounds, ev
@@ -405,6 +466,112 @@ func RunScalability(o Options) (*ScalabilityResult, error) {
 	return res, nil
 }
 
+// runScalabilityMemory is the huge-profile arm of the scalability experiment:
+// a memory-scalability measurement at a user count (Huge1M's million users)
+// where the ordinary sweep's materialised dataset, eager clients and full
+// candidate cache are off the table. The split streams straight from the
+// generator, clients build lazily on first participation, each round samples
+// a few thousand participants, and no evaluator exists — so the retained
+// state under measurement is exactly the server's per-user structures: the
+// flat upload store and the bounded eligibility cache. The same training
+// then re-runs on the retained map-based store; the round histories must
+// match bit for bit, and the two stores' footprints are reported side by
+// side.
+func runScalabilityMemory(o Options, p data.Profile) (*ScalabilityResult, error) {
+	var hs heapSampler
+	o.logf("scalability: memory profile %s (%d users, streamed split)\n", p.Name, p.NumUsers)
+	sp := data.StreamSplit(p, o.Seed, 0.2)
+	runtime.GC()
+	hs.sample()
+
+	// Same model pairing as the sweep (MF clients under a LightGCN server),
+	// with the per-round participant count pinned near the full-scale sweep's
+	// (~5k clients) so round cost stays bounded while the store still
+	// accumulates fresh users every round.
+	cfg := fed.DefaultConfig(models.KindLightGCN)
+	cfg.ClientModel = models.KindMF
+	cfg.Seed = o.Seed
+	cfg.Dim = 16
+	cfg.Rounds = 2
+	cfg.ClientEpochs = 1
+	cfg.ServerEpochs = 1
+	cfg.ClientBatch = 32
+	cfg.ServerBatch = 8192
+	cfg.LazyClients = true
+	cfg.Workers = runtime.GOMAXPROCS(0)
+	cfg.EvalWorkers = cfg.Workers
+	cfg.TrainWorkers = cfg.Workers
+	cfg.ClientFraction = 5000 / float64(p.NumUsers)
+	if cfg.ClientFraction > 1 {
+		cfg.ClientFraction = 1
+	}
+
+	res := &ScalabilityResult{
+		Profile:       p.Name,
+		Users:         sp.NumUsers,
+		Items:         sp.NumItems,
+		Rounds:        cfg.Rounds,
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		Deterministic: true,
+		MemoryProfile: true,
+	}
+
+	run := func(mapStore bool) (*fed.Trainer, []fed.RoundStats, error) {
+		rcfg := cfg
+		rcfg.MapUploadStore = mapStore
+		tr, err := fed.NewTrainer(sp, rcfg)
+		if err != nil {
+			return nil, nil, fmt.Errorf("scalability: %w", err)
+		}
+		rounds := make([]fed.RoundStats, 0, rcfg.Rounds)
+		for round := 0; round < rcfg.Rounds; round++ {
+			o.logf("scalability: memory profile round %d (map=%v)\n", round, mapStore)
+			rounds = append(rounds, tr.RunRound(round))
+			hs.sample()
+		}
+		return tr, rounds, nil
+	}
+
+	start := time.Now()
+	flatTr, flatRounds, err := run(false)
+	if err != nil {
+		return nil, err
+	}
+	trainSecs := time.Since(start).Seconds()
+	phases := flatTr.PhaseSeconds()
+	perRound := 1 / float64(cfg.Rounds)
+	row := ScalabilityRow{
+		Workers:          cfg.Workers,
+		RoundSecs:        trainSecs * perRound,
+		ClientSecs:       phases.ClientTrain * perRound,
+		AbsorbSecs:       phases.Absorb * perRound,
+		GraphSecs:        phases.GraphBuild * perRound,
+		ServerTrainSecs:  phases.ServerTrain * perRound,
+		DisperseSecs:     phases.Disperse * perRound,
+		UploadStoreBytes: flatTr.Server().UploadStoreBytes(),
+		EligCacheBytes:   flatTr.Server().EligCacheBytes(),
+	}
+	if row.RoundSecs > 0 {
+		row.RoundsPerSec = 1 / row.RoundSecs
+	}
+	row.BytesPerUser = float64(row.UploadStoreBytes+row.EligCacheBytes) / float64(sp.NumUsers)
+
+	// Map-store baseline: identical training, retained store implementation.
+	mapTr, mapRounds, err := run(true)
+	if err != nil {
+		return nil, err
+	}
+	if !roundsEqual(flatRounds, mapRounds) {
+		res.Deterministic = false
+	}
+	res.MapUploadStoreBytes = mapTr.Server().UploadStoreBytes()
+
+	hs.sample()
+	row.PeakHeapBytes = hs.peak
+	res.Rows = append(res.Rows, row)
+	return res, nil
+}
+
 // scalarScorer hides a model's BlockScorer so evaluation is forced through
 // the per-item scoring path, keeping the warm-up and buffer-reuse extensions
 // — the baseline the batched-vs-scalar comparison rows measure against.
@@ -442,8 +609,26 @@ func roundsEqual(a, b []fed.RoundStats) bool {
 	return true
 }
 
-// Print renders the sweep.
+// Print renders the sweep (or, for huge profiles, the memory profile).
 func (r *ScalabilityResult) Print(w io.Writer) {
+	if r.MemoryProfile {
+		row := r.Rows[0]
+		fmt.Fprintf(w, "Scalability (memory profile): %s (%d users × %d items), %d rounds, GOMAXPROCS=%d\n",
+			r.Profile, r.Users, r.Items, r.Rounds, r.GOMAXPROCS)
+		fmt.Fprintf(w, "  round-secs=%.3f  client=%.3f absorb=%.3f graph=%.3f server-sgd=%.3f disperse=%.3f\n",
+			row.RoundSecs, row.ClientSecs, row.AbsorbSecs, row.GraphSecs, row.ServerTrainSecs, row.DisperseSecs)
+		fmt.Fprintf(w, "  peak-heap=%s  upload-store=%s  elig-cache=%s  server-state=%.1f bytes/user\n",
+			comm.FormatBytes(float64(row.PeakHeapBytes)), comm.FormatBytes(float64(row.UploadStoreBytes)),
+			comm.FormatBytes(float64(row.EligCacheBytes)), row.BytesPerUser)
+		// At sparse per-round participation the flat store's fixed-stride
+		// index (12 B/user) dominates and the map can be smaller; the flat
+		// store wins as the uploaded population densifies. Print both sizes
+		// without editorialising.
+		fmt.Fprintf(w, "  map-baseline store=%s  flat store=%s (index is 12 B/user fixed)\n",
+			comm.FormatBytes(float64(r.MapUploadStoreBytes)), comm.FormatBytes(float64(row.UploadStoreBytes)))
+		fmt.Fprintf(w, "  flat-vs-map round histories identical: %v\n", r.Deterministic)
+		return
+	}
 	fmt.Fprintf(w, "Scalability: %s (%d users × %d items), %d rounds, GOMAXPROCS=%d\n",
 		r.Profile, r.Users, r.Items, r.Rounds, r.GOMAXPROCS)
 	fmt.Fprintf(w, "  %-8s %12s %12s %10s %10s %10s %12s %12s %12s %12s\n",
@@ -470,6 +655,15 @@ func (r *ScalabilityResult) Print(w io.Writer) {
 			row.Workers, row.ClientSecs, row.AbsorbSecs, row.GraphSecs,
 			row.ServerTrainSecs, row.DisperseSecs, row.DisperseBatchedSecs, row.DisperseScalarSecs,
 			row.DisperseSpeedup, row.ServerTrainSpeedup, row.GraphSpeedup)
+	}
+	fmt.Fprintln(w, "  memory (post-run retained state; peak = max live heap at phase boundaries):")
+	fmt.Fprintf(w, "  %-8s %12s %13s %12s %12s %16s\n",
+		"workers", "peak-heap", "upload-store", "elig-cache", "cand-cache", "server-B/user")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "  %-8d %12s %13s %12s %12s %16.1f\n",
+			row.Workers, comm.FormatBytes(float64(row.PeakHeapBytes)),
+			comm.FormatBytes(float64(row.UploadStoreBytes)), comm.FormatBytes(float64(row.EligCacheBytes)),
+			comm.FormatBytes(float64(row.CandCacheBytes)), row.BytesPerUser)
 	}
 	fmt.Fprintf(w, "  eval+dispersal tail: sequential %.3fs, overlapped %.3fs (%.2fx)\n",
 		r.OverlapSequentialSecs, r.OverlapConcurrentSecs, r.OverlapSpeedup)

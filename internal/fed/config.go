@@ -117,6 +117,31 @@ type Config struct {
 	// and for invariance tests.
 	DisperseScalar bool
 
+	// MapUploadStore forces the server's per-user latest-upload state through
+	// the original map-of-slices store instead of the flat sharded arena
+	// (contiguous prediction slabs with a fixed-stride offset/length index).
+	// Results are bitwise-identical either way — the knob is the
+	// memory/timing baseline (the DisperseScalar pattern) for the scalability
+	// experiment's store columns and the upload-store invariance suite.
+	MapUploadStore bool
+
+	// EligCacheEntries bounds the dispersal eligibility cache: at most this
+	// many per-client eligible lists stay resident, recycled LRU, so
+	// dispersal memory is budget × NumItems × 4 B instead of growing with
+	// every client ever dispersed to. A miss rebuilds via the word walk —
+	// any budget ≥ 1 is correct, smaller budgets just rebuild more.
+	// 0 means the default budget (4096 entries).
+	EligCacheEntries int
+
+	// LazyClients constructs each client's state (model, rng streams) on its
+	// first participation instead of all NumUsers clients up front. Lazily
+	// built clients are bitwise-identical to eagerly built ones: everything a
+	// client owns derives purely from (config, split, id) — the streams come
+	// from DeriveN on the immutable root seed, never from consuming shared
+	// generator state. The knob exists for huge-user profiles, where the
+	// idle majority's models and generator states would dominate memory.
+	LazyClients bool
+
 	// EvalSingleUser forces server-side evaluation through the single-user
 	// probability-domain engine (one fused ScoreBlockTopK selection per user)
 	// instead of the multi-user batched logit engine. Results are
@@ -191,6 +216,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("fed: GraphTopFrac = %v", c.GraphTopFrac)
 	case c.EvalK <= 0:
 		return fmt.Errorf("fed: EvalK = %d", c.EvalK)
+	case c.EligCacheEntries < 0:
+		return fmt.Errorf("fed: EligCacheEntries = %d", c.EligCacheEntries)
 	case c.Faults.DropoutRate < 0 || c.Faults.DropoutRate > 1:
 		return fmt.Errorf("fed: Faults.DropoutRate = %v", c.Faults.DropoutRate)
 	case c.Faults.TruncateRate < 0 || c.Faults.TruncateRate > 1:

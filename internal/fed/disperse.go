@@ -18,6 +18,7 @@ package fed
 
 import (
 	"math/bits"
+	"sync"
 
 	"ptffedrec/internal/bitset"
 	"ptffedrec/internal/candset"
@@ -41,53 +42,170 @@ const disperseBatchClients = 16
 // shrink it to force multi-chunk selections on small catalogues.
 var disperseScoreChunk = 1024
 
-// eligCache is the dispersal engine's shared eligibility cache: one
-// int32-packed ascending eligible list per client — the complement of the
-// client's lastUpload bitset — served from the cache while the client's
-// upload generation is unchanged and rebuilt with a word walk (64
-// memberships per load, no per-item probes) when the client uploads anew.
-// Rebuilds reuse each client's backing array, so steady-state rounds
-// allocate nothing here.
+// eligCache is the dispersal engine's shared eligibility cache: int32-packed
+// ascending eligible lists — the complement of each client's lastUpload
+// bitset — served while the client's upload generation is unchanged and
+// rebuilt with a word walk (64 memberships per load, no per-item probes) on
+// a miss. Same-client stale rebuilds reuse the entry's backing array, so
+// steady-state rounds allocate nothing here.
 //
-// Memory: ~4 bytes per (client, eligible item) for every client that has
-// been dispersed to — about numItems×4 B per such client (≈16 KB at the full
-// 4000-item profile), the same packing the evaluation candidate cache uses.
+// The cache is a bounded LRU: at most budget entries are resident, so
+// dispersal memory stops scaling with users × items — a huge-user run holds
+// budget × numItems × 4 B no matter how many clients cycle through. An
+// eviction costs its victim nothing but the word-walk rebuild on their next
+// dispersal, and any budget ≥ 1 is correct.
 //
-// Concurrency: the round engine partitions clients over workers, so each
-// slot is only touched by the worker that owns that client this round.
+// Concurrency: dispersal workers share the cache, and the recency list and
+// eviction state are global, so every access runs under one mutex (the
+// rebuild too — it is a word walk over a few KB, far cheaper than a second
+// lock round-trip per miss would be worth). The returned slices are safe to
+// read outside the lock: a hit or same-client rebuild is only reachable from
+// the one worker that owns that client this round, and an eviction leaves
+// the victim's backing array untouched — the replacement entry always gets a
+// fresh list, so a slice another worker still holds this round is never
+// overwritten.
 type eligCache struct {
-	lists [][]int32
-	gens  []uint64
+	mu     sync.Mutex
+	budget int
+	byUser map[int]int32 // user id -> slot index
+	slots  []eligSlot    // grows up to budget, then recycles via LRU
+	head   int32         // most recently used slot, -1 when empty
+	tail   int32         // least recently used slot, -1 when empty
 }
 
-// eligCacheNever marks a slot that has never been built; client upload
-// generations start at 0 and only increment, so this value never collides.
-const eligCacheNever = ^uint64(0)
+// eligSlot is one cache entry, threaded on an intrusive recency list.
+type eligSlot struct {
+	user int
+	gen  uint64
+	list []int32
+	prev int32
+	next int32
+}
 
-func newEligCache(numUsers int) *eligCache {
-	gens := make([]uint64, numUsers)
-	for i := range gens {
-		gens[i] = eligCacheNever
+// defaultEligCacheEntries is the entry budget when Config.EligCacheEntries
+// is zero: large enough that every profile up to large-50k's working set of
+// concurrently dispersed clients hits, small enough that a million-user run
+// is bounded at tens of MB of lists.
+const defaultEligCacheEntries = 4096
+
+func newEligCache(budget int) *eligCache {
+	if budget <= 0 {
+		budget = defaultEligCacheEntries
 	}
-	return &eligCache{lists: make([][]int32, numUsers), gens: gens}
+	return &eligCache{
+		budget: budget,
+		byUser: make(map[int]int32),
+		head:   -1,
+		tail:   -1,
+	}
 }
 
 // eligible returns client c's current eligible set. The returned slice
 // aliases the cache; callers must not retain it across the client's next
-// upload.
+// upload (nor across the round — an evicted-then-readmitted client gets a
+// fresh backing array, but a same-client generation bump reuses the old one).
 func (e *eligCache) eligible(c *Client, numItems int) []int32 {
-	if e.gens[c.ID] == c.uploadGen {
-		return e.lists[c.ID]
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if si, ok := e.byUser[c.ID]; ok {
+		s := &e.slots[si]
+		if s.gen != c.uploadGen {
+			// Stale: the client uploaded since this list was built, so any
+			// alias from before that upload is already dead by contract and
+			// the backing array is free to reuse.
+			s.list = e.buildList(s.list[:0], c, numItems)
+			s.gen = c.uploadGen
+		}
+		e.moveToFront(si)
+		return s.list
 	}
-	dst := e.lists[c.ID][:0]
-	if c.lastUpload == nil {
-		dst = candset.AppendRange(dst, numItems)
+	var si int32
+	if len(e.slots) < e.budget {
+		si = int32(len(e.slots))
+		e.slots = append(e.slots, eligSlot{})
 	} else {
-		dst = candset.AppendComplement(dst, c.lastUpload, numItems)
+		si = e.tail
+		victim := &e.slots[si]
+		delete(e.byUser, victim.user)
+		e.unlink(si)
+		// The victim's list may still be read by another worker this round;
+		// drop it so the new entry builds into fresh backing instead.
+		victim.list = nil
 	}
-	e.lists[c.ID] = dst
-	e.gens[c.ID] = c.uploadGen
-	return dst
+	s := &e.slots[si]
+	s.user, s.gen = c.ID, c.uploadGen
+	s.list = e.buildList(s.list[:0], c, numItems)
+	e.byUser[c.ID] = si
+	e.pushFront(si)
+	return s.list
+}
+
+// buildList writes client c's eligible set into dst: the full item range for
+// a client that never uploaded, the bitset-complement word walk otherwise.
+func (e *eligCache) buildList(dst []int32, c *Client, numItems int) []int32 {
+	if c.lastUpload == nil {
+		return candset.AppendRange(dst, numItems)
+	}
+	return candset.AppendComplement(dst, c.lastUpload, numItems)
+}
+
+// unlink removes slot si from the recency list.
+func (e *eligCache) unlink(si int32) {
+	s := &e.slots[si]
+	if s.prev >= 0 {
+		e.slots[s.prev].next = s.next
+	} else {
+		e.head = s.next
+	}
+	if s.next >= 0 {
+		e.slots[s.next].prev = s.prev
+	} else {
+		e.tail = s.prev
+	}
+}
+
+// pushFront makes slot si the most recently used.
+func (e *eligCache) pushFront(si int32) {
+	s := &e.slots[si]
+	s.prev, s.next = -1, e.head
+	if e.head >= 0 {
+		e.slots[e.head].prev = si
+	}
+	e.head = si
+	if e.tail < 0 {
+		e.tail = si
+	}
+}
+
+// moveToFront refreshes slot si's recency.
+func (e *eligCache) moveToFront(si int32) {
+	if e.head == si {
+		return
+	}
+	e.unlink(si)
+	e.pushFront(si)
+}
+
+// entries returns how many lists are resident (tests).
+func (e *eligCache) entries() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.byUser)
+}
+
+// eligSlotOverheadBytes is one slot's bookkeeping: the eligSlot struct (user
+// + gen + slice header + two int32 links, padded) plus the map entry.
+const eligSlotOverheadBytes = 48 + 32
+
+// memoryBytes reports the cache's resident footprint.
+func (e *eligCache) memoryBytes() int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	b := int64(len(e.slots)) * eligSlotOverheadBytes
+	for i := range e.slots {
+		b += int64(cap(e.slots[i].list)) * 4
+	}
+	return b
 }
 
 // disperseArms derives Eq. 9's per-arm split for a config: the confidence

@@ -1,0 +1,147 @@
+package fed
+
+import (
+	"testing"
+
+	"ptffedrec/internal/bitset"
+)
+
+// eligTestClient builds a minimal client for cache tests: only the fields
+// the eligibility cache reads (id, upload bitset, generation).
+func eligTestClient(id, numItems int, uploaded ...int) *Client {
+	c := &Client{ID: id, numItems: numItems}
+	if len(uploaded) > 0 {
+		c.lastUpload = bitset.New(numItems)
+		for _, v := range uploaded {
+			c.lastUpload.Add(v)
+		}
+		c.uploadGen = 1
+	}
+	return c
+}
+
+// requireEligMatchesNaive checks a cache-served list against the naive probe
+// walk over the client's bitset.
+func requireEligMatchesNaive(t *testing.T, label string, got []int32, c *Client, numItems int) {
+	t.Helper()
+	want := naiveEligible(nil, numItems, c.lastUpload)
+	if len(got) != len(want) {
+		t.Fatalf("%s: len %d, want %d", label, len(got), len(want))
+	}
+	for i := range got {
+		if int(got[i]) != want[i] {
+			t.Fatalf("%s: entry %d = %d, want %d", label, i, got[i], want[i])
+		}
+	}
+}
+
+// TestEligLRUEvictionRegeneration walks a budget-4 cache through enough
+// distinct clients to force evictions, then returns to the evicted ones:
+// every regenerated list must be element-for-element identical to both the
+// naive walk and the list originally served before eviction.
+func TestEligLRUEvictionRegeneration(t *testing.T) {
+	const numItems = 70
+	e := newEligCache(4)
+	clients := make([]*Client, 10)
+	first := make([][]int32, 10)
+	for i := range clients {
+		// Distinct exclusion patterns, straddling the 64-bit word boundary.
+		clients[i] = eligTestClient(i, numItems, i, (i*7+3)%numItems, 64+i%6)
+		got := e.eligible(clients[i], numItems)
+		requireEligMatchesNaive(t, "first build", got, clients[i], numItems)
+		first[i] = append([]int32(nil), got...)
+	}
+	if n := e.entries(); n != 4 {
+		t.Fatalf("entries = %d after 10 distinct clients, want budget 4", n)
+	}
+	// Clients 0..5 were evicted (budget 4, LRU order): regeneration must
+	// reproduce the original lists exactly.
+	for i := 0; i < 6; i++ {
+		got := e.eligible(clients[i], numItems)
+		requireEligMatchesNaive(t, "regenerated", got, clients[i], numItems)
+		for j := range got {
+			if got[j] != first[i][j] {
+				t.Fatalf("client %d: regenerated list diverges at %d: %d vs %d",
+					i, j, got[j], first[i][j])
+			}
+		}
+	}
+	if n := e.entries(); n != 4 {
+		t.Fatalf("entries = %d after regeneration, want 4", n)
+	}
+	if e.memoryBytes() <= 0 {
+		t.Fatal("memoryBytes must be positive for a populated cache")
+	}
+}
+
+// TestEligLRUGenerationRebuild pins the stale-entry path: a same-client
+// generation bump rebuilds the list in place — correct contents, reusing the
+// backing array the dead alias occupied (the aliasing contract's fast path).
+func TestEligLRUGenerationRebuild(t *testing.T) {
+	const numItems = 70
+	e := newEligCache(4)
+	c := eligTestClient(0, numItems, 5, 66)
+	old := e.eligible(c, numItems)
+	requireEligMatchesNaive(t, "before bump", old, c, numItems)
+
+	c.lastUpload.Add(12)
+	c.uploadGen++
+	got := e.eligible(c, numItems)
+	requireEligMatchesNaive(t, "after bump", got, c, numItems)
+	if len(got) == 0 || len(old) == 0 || &got[0] != &old[0] {
+		t.Fatal("generation rebuild did not reuse the stale entry's backing array")
+	}
+	if n := e.entries(); n != 1 {
+		t.Fatalf("entries = %d after same-client rebuild, want 1", n)
+	}
+}
+
+// TestEligLRUEvictionFreshBacking pins the aliasing-safety rule: when an
+// entry is evicted, the replacement builds into fresh backing, leaving any
+// still-held alias of the victim's list intact.
+func TestEligLRUEvictionFreshBacking(t *testing.T) {
+	const numItems = 70
+	e := newEligCache(1)
+	a := eligTestClient(0, numItems, 3)
+	b := eligTestClient(1, numItems, 9)
+	la := e.eligible(a, numItems)
+	snapshot := append([]int32(nil), la...)
+	lb := e.eligible(b, numItems) // evicts a
+	requireEligMatchesNaive(t, "replacement", lb, b, numItems)
+	for i := range la {
+		if la[i] != snapshot[i] {
+			t.Fatalf("evicted client's aliased list was overwritten at %d", i)
+		}
+	}
+}
+
+// FuzzEligCache interleaves lookups, upload-generation bumps and
+// eviction-inducing client churn against a tight budget, holding the cache
+// to the naive walk and the budget bound at every step.
+func FuzzEligCache(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 0x81, 0, 4, 5, 0x82, 2, 6, 7, 0})
+	f.Add([]byte{0x80, 0x80, 0x80, 1, 1, 1})
+	f.Add([]byte{7, 6, 5, 4, 3, 2, 1, 0, 0x87, 7})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		const numItems, nClients, budget = 70, 8, 3
+		e := newEligCache(budget)
+		clients := make([]*Client, nClients)
+		for i := range clients {
+			clients[i] = eligTestClient(i, numItems, i)
+		}
+		for step, op := range ops {
+			c := clients[int(op&0x7f)%nClients]
+			if op&0x80 != 0 {
+				// Simulate a new upload: the exclusion set changes and the
+				// generation advances, invalidating any cached list.
+				c.lastUpload.Add((step*13 + int(op)) % numItems)
+				c.uploadGen++
+			}
+			got := e.eligible(c, numItems)
+			requireEligMatchesNaive(t, "fuzz step", got, c, numItems)
+			if n := e.entries(); n > budget {
+				t.Fatalf("step %d: entries = %d exceeds budget %d", step, n, budget)
+			}
+		}
+	})
+}

@@ -116,7 +116,7 @@ func TestTrainerGraphServerModels(t *testing.T) {
 			t.Fatalf("%s server: %v", kind, err)
 		}
 		// Server graph must have absorbed soft-positive edges.
-		if got := len(tr.Server().latestUpload); got == 0 {
+		if got := tr.Server().store.Count(); got == 0 {
 			t.Fatalf("%s server saw no uploads", kind)
 		}
 	}

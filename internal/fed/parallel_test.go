@@ -186,8 +186,8 @@ func TestTruncatedUploadsHonourWireCodec(t *testing.T) {
 	}
 	rs := tr.RunRound(0)
 	var preds int
-	for _, up := range tr.Server().latestUpload {
-		preds += len(up)
+	for _, u := range tr.Server().store.Users(nil) {
+		preds += len(tr.Server().store.View(u))
 	}
 	if preds == 0 {
 		t.Fatal("no uploads reached the server")

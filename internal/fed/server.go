@@ -27,20 +27,34 @@ type Server struct {
 	// embedding-update-frequency confidence measure of Eq. 9.
 	itemFreq []int
 
-	// latestUpload keeps each user's most recent D̂ᵗᵢ; the union is the
-	// server's entire view of the interaction structure, from which it
-	// rebuilds its graph every round.
-	latestUpload map[int][]comm.Prediction
+	// store keeps each user's most recent D̂ᵗᵢ; the union is the server's
+	// entire view of the interaction structure, from which it rebuilds its
+	// graph every round. The flat sharded arena is the default engine;
+	// Config.MapUploadStore retains the map baseline.
+	store uploadStore
 
-	// elig is the dispersal engine's shared eligibility cache: one
-	// int32-packed eligible list per client, invalidated by the client's
-	// upload generation and rebuilt with a word walk over the lastUpload
-	// bitset. Only the batched dispersal path reads it.
+	// elig is the dispersal engine's shared eligibility cache: a bounded LRU
+	// of int32-packed eligible lists keyed by (client, upload generation),
+	// rebuilt with a word walk over the lastUpload bitset on a miss. Only the
+	// batched dispersal path reads it.
 	elig *eligCache
 
 	// ident is the identity item list 0..numItems-1 — the shared candidate
 	// block the batched dispersal engine slices score chunks from.
 	ident []int
+
+	// hist holds per-worker histogram scratch for absorb's sharded counter
+	// pass, so steady-state rounds allocate nothing there.
+	hist [][]int
+
+	// Graph-build scratch, reused across rounds so the steady-state edge
+	// collection does no per-user allocation: the stored-user list, the
+	// per-user edge offsets, the edge slab the selection pass fills, and the
+	// serial path's rank-order sorter.
+	graphUsers []int
+	edgeOff    []int
+	edgeSlab   []graph.Edge
+	edgeSort   edgeSorter
 }
 
 // newServer builds the hidden server model.
@@ -65,15 +79,15 @@ func newServer(numUsers, numItems int, cfg *Config, parent *rng.Stream) (*Server
 		ident[v] = v
 	}
 	return &Server{
-		model:        m,
-		cfg:          cfg,
-		s:            parent.Derive("server"),
-		numUsers:     numUsers,
-		numItems:     numItems,
-		itemFreq:     make([]int, numItems),
-		latestUpload: map[int][]comm.Prediction{},
-		elig:         newEligCache(numUsers),
-		ident:        ident,
+		model:    m,
+		cfg:      cfg,
+		s:        parent.Derive("server"),
+		numUsers: numUsers,
+		numItems: numItems,
+		itemFreq: make([]int, numItems),
+		store:    newUploadStore(numUsers, cfg),
+		elig:     newEligCache(cfg.EligCacheEntries),
+		ident:    ident,
 	}, nil
 }
 
@@ -98,43 +112,64 @@ func (sv *Server) Restore(r io.Reader) error {
 // ItemFrequency returns the confidence counter for item v.
 func (sv *Server) ItemFrequency(v int) int { return sv.itemFreq[v] }
 
-// absorb ingests one round of uploads: updates confidence counters and the
-// per-user latest views. The counter pass shards the uploads over workers,
-// each accumulating into a private histogram; the shard histograms merge
-// sequentially, so counts are exact integers regardless of worker count.
-func (sv *Server) absorb(uploads [][]comm.Prediction, workers int) {
-	workers = par.Workers(workers)
-	if workers <= 1 || len(uploads) < 2 {
-		for _, up := range uploads {
-			for _, p := range up {
-				if p.Item >= 0 && p.Item < sv.numItems {
-					sv.itemFreq[p.Item]++
-				}
+// UploadStoreBytes reports the resident bytes of the per-user upload store —
+// the scalability experiment's memory-accounting hook.
+func (sv *Server) UploadStoreBytes() int64 { return sv.store.MemoryBytes() }
+
+// EligCacheBytes reports the resident bytes of the dispersal eligibility
+// cache.
+func (sv *Server) EligCacheBytes() int64 { return sv.elig.memoryBytes() }
+
+// countUploadItems accumulates the uploads' item frequencies into counts.
+// Out-of-range items are skipped; the bound is len(counts) — the item
+// universe — so the single-worker and sharded absorb paths share one rule by
+// construction.
+func countUploadItems(counts []int, uploads [][]comm.Prediction) {
+	for _, up := range uploads {
+		for _, p := range up {
+			if p.Item >= 0 && p.Item < len(counts) {
+				counts[p.Item]++
 			}
 		}
+	}
+}
+
+// absorb ingests one round of uploads: updates confidence counters and the
+// per-user latest views. The counter pass shards the uploads over workers,
+// each accumulating into a private (reused) histogram; the shard histograms
+// merge sequentially, so counts are exact integers regardless of worker
+// count. The view updates go to the upload store, sharded over fixed user
+// partitions. Steady-state rounds allocate nothing here.
+func (sv *Server) absorb(uploads [][]comm.Prediction, workers int) {
+	workers = par.Workers(workers)
+	if workers > len(uploads) {
+		workers = len(uploads)
+	}
+	if workers <= 1 {
+		countUploadItems(sv.itemFreq, uploads)
 	} else {
-		if workers > len(uploads) {
-			workers = len(uploads)
+		for len(sv.hist) < workers {
+			sv.hist = append(sv.hist, nil)
 		}
-		partial := make([][]int, workers)
+		partial := sv.hist[:workers]
 		chunk := (len(uploads) + workers - 1) / workers
 		par.For(workers, workers, func(w int) {
+			counts := partial[w]
+			if counts == nil {
+				counts = make([]int, sv.numItems)
+				partial[w] = counts
+			} else {
+				for i := range counts {
+					counts[i] = 0
+				}
+			}
 			lo, hi := w*chunk, (w+1)*chunk
 			if hi > len(uploads) {
 				hi = len(uploads)
 			}
-			if lo >= hi {
-				return
+			if lo < hi {
+				countUploadItems(counts, uploads[lo:hi])
 			}
-			counts := make([]int, sv.numItems)
-			for _, up := range uploads[lo:hi] {
-				for _, p := range up {
-					if p.Item >= 0 && p.Item < sv.numItems {
-						counts[p.Item]++
-					}
-				}
-			}
-			partial[w] = counts
 		})
 		for _, counts := range partial {
 			for v, c := range counts {
@@ -142,14 +177,7 @@ func (sv *Server) absorb(uploads [][]comm.Prediction, workers int) {
 			}
 		}
 	}
-	// Each round's uploads come from distinct clients, so the per-user view
-	// updates are cheap single writes; keep them on the caller's goroutine.
-	for _, up := range uploads {
-		if len(up) == 0 {
-			continue
-		}
-		sv.latestUpload[up[0].User] = up
-	}
+	sv.store.SetBatch(uploads, workers)
 }
 
 // rebuildGraph reconstructs the server's bipartite graph from every user's
@@ -159,70 +187,157 @@ func (sv *Server) absorb(uploads [][]comm.Prediction, workers int) {
 // models pay this cost; SetGraph itself shards the adjacency/CSR build over
 // the model's TrainWorkers.
 //
-// Per-user edge selection is independent, so it fans out over the worker
-// pool into per-user slots; the slots are then replayed in sorted-user order,
-// so edge insertion order — which decides the order degree weights accumulate
-// in, and therefore the propagated floats — matches the serial construction
-// exactly for any worker count.
+// The edge collection runs over the upload store's ascending user order —
+// there are no map keys to sort — in two passes over a reused slab: a
+// parallel count pass fixes each user's edge range by prefix sum, a parallel
+// fill pass writes each user's edges into its own range, and the slab is
+// replayed in user order. Edge insertion order — which decides the order
+// degree weights accumulate in, and therefore the propagated floats —
+// matches the serial construction exactly for any worker count.
 func (sv *Server) rebuildGraph(workers int) {
 	gm, ok := sv.model.(models.GraphRecommender)
 	if !ok {
 		return
 	}
-	// Sorted users: map iteration order must never decide the merge order.
-	userIDs := make([]int, 0, len(sv.latestUpload))
-	for u := range sv.latestUpload {
-		userIDs = append(userIDs, u)
-	}
-	sort.Ints(userIDs)
-	selected := make([][]graph.Edge, len(userIDs))
-	par.For(len(userIDs), par.Workers(workers), func(i int) {
-		selected[i] = sv.selectEdges(userIDs[i])
-	})
+	users, off, slab := sv.collectEdges(workers)
 	g := graph.NewBipartite(sv.numUsers, sv.numItems)
-	for _, edges := range selected {
-		for _, e := range edges {
+	for i := range users {
+		for _, e := range slab[off[i]:off[i+1]] {
 			g.AddEdge(e.User, e.Item, e.Weight)
 		}
 	}
 	gm.SetGraph(g)
 }
 
-// selectEdges applies the configured soft-positive edge rule to one user's
-// latest upload. It only reads server state, so calls for distinct users are
-// safe to run concurrently.
-func (sv *Server) selectEdges(u int) []graph.Edge {
-	preds := sv.latestUpload[u]
-	var edges []graph.Edge
+// collectEdges gathers every stored user's selected edges into the server's
+// reused edge slab: users (ascending), per-user offsets into the slab, and
+// the slab itself. Steady-state calls at workers<=1 allocate nothing; the
+// parallel fill pass gives each chunk its own sorter scratch.
+func (sv *Server) collectEdges(workers int) (users, off []int, slab []graph.Edge) {
+	users = sv.store.Users(sv.graphUsers[:0])
+	sv.graphUsers = users
+	off = sv.edgeOff
+	if cap(off) < len(users)+1 {
+		off = make([]int, len(users)+1)
+	}
+	off = off[: len(users)+1 : cap(off)]
+	sv.edgeOff = off
+	workers = par.Workers(workers)
+
+	// The parallel branches capture shadow copies: closing over the named
+	// results directly would box them on the heap every call, breaking the
+	// serial path's zero-allocation pin.
+	off[0] = 0
+	if workers <= 1 {
+		for i := range users {
+			off[i+1] = sv.countEdges(users[i])
+		}
+	} else {
+		cUsers, cOff := users, off
+		par.For(len(cUsers), workers, func(i int) {
+			cOff[i+1] = sv.countEdges(cUsers[i])
+		})
+	}
+	for i := 1; i <= len(users); i++ {
+		off[i] += off[i-1]
+	}
+
+	slab = sv.edgeSlab
+	if cap(slab) < off[len(users)] {
+		slab = make([]graph.Edge, off[len(users)])
+	}
+	slab = slab[:off[len(users)]]
+	sv.edgeSlab = slab
+
+	if workers <= 1 {
+		for i := range users {
+			sv.fillEdges(users[i], slab[off[i]:off[i+1]], &sv.edgeSort)
+		}
+	} else {
+		cUsers, cOff, cSlab := users, off, slab
+		chunk := (len(cUsers) + workers - 1) / workers
+		par.ForChunks(len(cUsers), chunk, workers, func(lo, hi int) {
+			var sorter edgeSorter
+			for i := lo; i < hi; i++ {
+				sv.fillEdges(cUsers[i], cSlab[cOff[i]:cOff[i+1]], &sorter)
+			}
+		})
+	}
+	return users, off, slab
+}
+
+// countEdges returns how many edges the configured soft-positive rule
+// selects from user u's latest upload — the sizing pass of collectEdges.
+func (sv *Server) countEdges(u int) int {
+	preds := sv.store.View(u)
 	if sv.cfg.GraphTopFrac > 0 {
 		n := int(sv.cfg.GraphTopFrac*float64(len(preds)) + 0.5)
 		if n < 1 {
 			n = 1
 		}
-		order := make([]int, len(preds))
-		for i := range order {
-			order[i] = i
+		if n > len(preds) {
+			n = len(preds)
 		}
-		sort.SliceStable(order, func(a, b int) bool {
-			return preds[order[a]].Score > preds[order[b]].Score
-		})
-		edges = make([]graph.Edge, 0, n)
-		for _, idx := range order[:n] {
+		return n
+	}
+	n := 0
+	for _, p := range preds {
+		if p.Score >= sv.cfg.GraphThreshold {
+			n++
+		}
+	}
+	return n
+}
+
+// fillEdges writes user u's selected edges into dst (sized by countEdges).
+// The top-fraction rule ranks the upload by (score desc, upload order) via a
+// stable sort — identical order to the historical sort.SliceStable — with
+// scores floored at 0.05; the threshold rule keeps upload order. Calls for
+// distinct users only read server state, so they run concurrently.
+func (sv *Server) fillEdges(u int, dst []graph.Edge, sorter *edgeSorter) {
+	preds := sv.store.View(u)
+	if sv.cfg.GraphTopFrac > 0 {
+		if cap(sorter.order) < len(preds) {
+			sorter.order = make([]int, len(preds))
+		}
+		sorter.order = sorter.order[:len(preds)]
+		for i := range sorter.order {
+			sorter.order[i] = i
+		}
+		sorter.preds = preds
+		sort.Stable(sorter)
+		for i := range dst {
+			idx := sorter.order[i]
 			w := preds[idx].Score
 			if w < 0.05 {
 				w = 0.05
 			}
-			edges = append(edges, graph.Edge{User: u, Item: preds[idx].Item, Weight: w})
+			dst[i] = graph.Edge{User: u, Item: preds[idx].Item, Weight: w}
 		}
-		return edges
+		return
 	}
+	k := 0
 	for _, p := range preds {
 		if p.Score >= sv.cfg.GraphThreshold {
-			edges = append(edges, graph.Edge{User: u, Item: p.Item, Weight: p.Score})
+			dst[k] = graph.Edge{User: u, Item: p.Item, Weight: p.Score}
+			k++
 		}
 	}
-	return edges
 }
+
+// edgeSorter stably orders upload indices by score descending — the
+// allocation-free replacement for a sort.SliceStable closure (its pointer
+// receiver converts to sort.Interface without boxing a new value per user).
+type edgeSorter struct {
+	order []int
+	preds []comm.Prediction
+}
+
+func (s *edgeSorter) Len() int { return len(s.order) }
+func (s *edgeSorter) Less(a, b int) bool {
+	return s.preds[s.order[a]].Score > s.preds[s.order[b]].Score
+}
+func (s *edgeSorter) Swap(a, b int) { s.order[a], s.order[b] = s.order[b], s.order[a] }
 
 // train runs the server-side optimisation of Eq. 5 on the round's uploads.
 // Flattening the uploads into the training set is sharded over workers into

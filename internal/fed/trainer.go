@@ -101,6 +101,20 @@ func NewTrainer(sp *data.Split, cfg Config) (*Trainer, error) {
 		meter:  comm.NewMeter(),
 		root:   root,
 	}
+	if cfg.LazyClients {
+		// Clients materialise on first participation via t.client; build one
+		// eagerly so an invalid client-model kind still fails at construction
+		// time instead of mid-round.
+		t.clients = make([]*Client, sp.NumUsers)
+		if sp.NumUsers > 0 {
+			c, err := newClient(0, sp.Train[0], sp.NumItems, &t.cfg, root)
+			if err != nil {
+				return nil, err
+			}
+			t.clients[0] = c
+		}
+		return t, nil
+	}
 	for u := 0; u < sp.NumUsers; u++ {
 		c, err := newClient(u, sp.Train[u], sp.NumItems, &t.cfg, root)
 		if err != nil {
@@ -111,8 +125,34 @@ func NewTrainer(sp *data.Split, cfg Config) (*Trainer, error) {
 	return t, nil
 }
 
-// Clients exposes the participant list (tests, examples).
-func (t *Trainer) Clients() []*Client { return t.clients }
+// client returns participant i, constructing it on first use under
+// Config.LazyClients. Lazy construction is bitwise-safe because everything a
+// client owns derives purely from (config, split, id) — see the knob's doc.
+// Concurrent calls for distinct ids write distinct slots and the round/eval
+// engines never hand one id to two workers, so no synchronisation is needed.
+func (t *Trainer) client(i int) *Client {
+	c := t.clients[i]
+	if c == nil {
+		var err error
+		c, err = newClient(i, t.split.Train[i], t.split.NumItems, &t.cfg, t.root)
+		if err != nil {
+			// Construction can only fail on an invalid model kind, which the
+			// eager client 0 already validated.
+			panic(err)
+		}
+		t.clients[i] = c
+	}
+	return c
+}
+
+// Clients exposes the participant list (tests, examples), materialising any
+// clients a lazy trainer has not built yet.
+func (t *Trainer) Clients() []*Client {
+	for i := range t.clients {
+		t.client(i)
+	}
+	return t.clients
+}
 
 // Server exposes the server (tests, examples).
 func (t *Trainer) Server() *Server { return t.server }
@@ -176,7 +216,7 @@ func (t *Trainer) runRound(round int, withEval bool) (RoundStats, eval.Result) {
 	results := make([]clientResult, len(idx))
 	par.For(len(idx), workers, func(slot int) {
 		ci := idx[slot]
-		c := t.clients[ci]
+		c := t.client(ci)
 		// Fault injection: a dropped client burns its local compute but
 		// nothing reaches the server.
 		if t.cfg.Faults.enabled() {
@@ -411,8 +451,9 @@ func (t *Trainer) BenchDispersal(passes int) (batchedSecs, scalarSecs float64, i
 					}
 					slots := sc.slots[:be-b]
 					for i := b; i < be; i++ {
-						slots[i-b].c = t.clients[i]
-						slots[i-b].ds = clientStream(t.clients[i].ID)
+						c := t.client(i)
+						slots[i-b].c = c
+						slots[i-b].ds = clientStream(c.ID)
 					}
 					t.server.disperseBatch(mbs, slots, plan, sc)
 					if collect {
@@ -434,7 +475,7 @@ func (t *Trainer) BenchDispersal(passes int) (batchedSecs, scalarSecs float64, i
 			par.ForChunks(len(t.clients), chunk, workers, func(lo, hi int) {
 				scratch := &disperseScratch{}
 				for i := lo; i < hi; i++ {
-					c := t.clients[i]
+					c := t.client(i)
 					preds := t.server.disperse(c, clientStream(c.ID), plan, scratch)
 					if compare && !predictionsEqual(preds, out[i]) {
 						mismatches.Add(1)
@@ -544,7 +585,7 @@ func (t *Trainer) EvaluateServer() eval.Result {
 // model: no two workers ever touch the same client.
 func (t *Trainer) EvaluateClients() eval.Result {
 	scorer := models.ScorerFunc(func(u int, items []int) []float64 {
-		return t.clients[u].model.ScoreItems(0, items)
+		return t.client(u).model.ScoreItems(0, items)
 	})
 	return t.splitEvaluator().Rank(scorer, t.cfg.EvalK, t.cfg.EvalWorkers)
 }
