@@ -19,11 +19,16 @@ race:
 # -benchmem makes allocation regressions visible next to the timings — the
 # fed store/graph benchmarks must report 0 allocs/op in steady state (the
 # pin itself is TestAbsorbSteadyStateAllocs/TestCollectEdgesSteadyStateAllocs).
-# The JSON lands in a temp file first so a failed run never truncates the
-# committed record.
+# The second ptfbench run appends the huge-1m memory-profile record, whose
+# graph-incr/graph-full gap is the incremental graph engine's
+# partial-participation headline — 10 rounds (~10 min single-core) so the
+# stored population dwarfs the ~5k participants a round actually changes;
+# CI runs only the quick sweep. The JSON lands in a temp file first so a
+# failed run never truncates the committed record.
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x -run='^$$' . ./internal/fed/
 	$(GO) run ./cmd/ptfbench -exp scalability -quick -json > BENCH_scalability.json.tmp
+	$(GO) run ./cmd/ptfbench -exp scalability -profile huge-1m -rounds 10 -json >> BENCH_scalability.json.tmp
 	mv BENCH_scalability.json.tmp BENCH_scalability.json
 
 fmt:

@@ -51,6 +51,7 @@ func main() {
 		quick   = flag.Bool("quick", false, "shortened training (benchmark-style smoke run)")
 		seed    = flag.Uint64("seed", 1, "experiment seed")
 		profile = flag.String("profile", "", "override the dataset profile (e.g. huge-1m for the memory-profile scalability run)")
+		rounds  = flag.Int("rounds", 0, "override the round count of the memory-profile scalability mode (0 = keep the default)")
 		list    = flag.Bool("list", false, "list experiment ids and exit")
 		verbose = flag.Bool("v", false, "log per-run progress")
 		asJSON  = flag.Bool("json", false, "emit one JSON object per experiment instead of tables")
@@ -69,9 +70,10 @@ func main() {
 	}
 
 	o := experiments.Options{
-		Scale: experiments.Scale(*scale),
-		Quick: *quick,
-		Seed:  *seed,
+		Scale:  experiments.Scale(*scale),
+		Quick:  *quick,
+		Seed:   *seed,
+		Rounds: *rounds,
 	}
 	if o.Scale != experiments.ScaleSmall && o.Scale != experiments.ScaleFull {
 		fmt.Fprintf(os.Stderr, "ptfbench: unknown scale %q\n", *scale)

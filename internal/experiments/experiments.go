@@ -42,6 +42,12 @@ type Options struct {
 	// ProfilesOverride replaces the scale-selected datasets (tests use the
 	// Tiny profile to keep the full grid fast).
 	ProfilesOverride []data.Profile
+
+	// Rounds, when positive, overrides the global round count of the
+	// memory-profile scalability mode (the huge profiles). Only that mode
+	// honours it: the worker-sweep and table experiments keep their tuned
+	// round counts so committed benchmarks stay comparable across runs.
+	Rounds int
 }
 
 // DefaultOptions returns the benchmark-friendly configuration.

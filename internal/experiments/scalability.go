@@ -79,6 +79,20 @@ type ScalabilityRow struct {
 	ServerTrainSpeedup float64 `json:"server_train_speedup"`
 	GraphSpeedup       float64 `json:"graph_speedup"`
 
+	// Incremental-vs-full graph engine comparison at this worker count: the
+	// same training re-run under Config.FullGraphRebuild (every round
+	// re-selects all stored users' edges and rebuilds the adjacency from
+	// triplets) against the default incremental engine (dirty users only,
+	// maintained rows/degrees/postings), as mean graph-phase seconds per
+	// round. The re-run's history must match the incremental run bit for bit
+	// (folded into Deterministic); the speedup is what dirty-delta
+	// maintenance buys. GraphEngineBytes is the incremental engine's retained
+	// footprint (rows, postings, degree vectors, staging scratch).
+	GraphIncrSecs       float64 `json:"graph_incr_secs"`
+	GraphFullSecs       float64 `json:"graph_full_secs"`
+	GraphRebuildSpeedup float64 `json:"graph_rebuild_speedup"`
+	GraphEngineBytes    int64   `json:"graph_engine_bytes"`
+
 	// Memory accounting for this row's trainer. PeakHeapBytes is the largest
 	// live heap observed at phase boundaries (post-GC samples, so it tracks
 	// retained state, not allocator slack). The store/cache columns are exact
@@ -324,6 +338,29 @@ func RunScalability(o Options) (*ScalabilityResult, error) {
 			res.Deterministic = false
 		}
 
+		// The graph engines head to head, end to end: the same training re-run
+		// under Config.FullGraphRebuild must reproduce the round history bit
+		// for bit, and its graph phase is the full-rebuild baseline the
+		// graph-spdup column measures the incremental engine against. At this
+		// sweep's dense per-round participation the incremental engine
+		// restages most of the store, so near-parity is the expected sweep
+		// result; the partial-participation memory profile is where the
+		// dirty-delta path pays off.
+		fcfg := wcfg
+		fcfg.FullGraphRebuild = true
+		ftr, err := fed.NewTrainer(sp, fcfg)
+		if err != nil {
+			return nil, fmt.Errorf("scalability: %w", err)
+		}
+		fullRounds := make([]fed.RoundStats, 0, fcfg.Rounds)
+		for round := 0; round < fcfg.Rounds; round++ {
+			fullRounds = append(fullRounds, ftr.RunRound(round))
+		}
+		if !roundsEqual(rounds, fullRounds) {
+			res.Deterministic = false
+		}
+		graphFullSecs := ftr.PhaseSeconds().GraphBuild
+
 		// And end-to-end, once per sweep (worker-count invariance is already
 		// pinned by the refRounds comparison below, so re-training per row
 		// would only double the sweep's wall-clock): the same training forced
@@ -333,9 +370,11 @@ func RunScalability(o Options) (*ScalabilityResult, error) {
 			scfg := wcfg
 			scfg.DisperseScalar = true
 			scfg.EvalSingleUser = true
-			// The baseline trainer also runs the retained map upload store, so
-			// the committed bench doubles as an end-to-end flat-vs-map pin.
+			// The baseline trainer also runs the retained map upload store and
+			// the full graph rebuild, so the committed bench doubles as an
+			// end-to-end pin of every baseline knob at once.
 			scfg.MapUploadStore = true
+			scfg.FullGraphRebuild = true
 			str, err := fed.NewTrainer(sp, scfg)
 			if err != nil {
 				return nil, fmt.Errorf("scalability: %w", err)
@@ -373,6 +412,12 @@ func RunScalability(o Options) (*ScalabilityResult, error) {
 			DisperseScalarSecs:   disperseScalarSecs,
 			EvalUsersBatchedSecs: evalUsersBatchedSecs,
 			EvalUsersScalarSecs:  evalUsersScalarSecs,
+			GraphIncrSecs:        phases.GraphBuild * perRound,
+			GraphFullSecs:        graphFullSecs * perRound,
+			GraphEngineBytes:     tr.Server().GraphEngineBytes(),
+		}
+		if row.GraphIncrSecs > 0 {
+			row.GraphRebuildSpeedup = row.GraphFullSecs / row.GraphIncrSecs
 		}
 		if row.RoundSecs > 0 {
 			row.RoundsPerSec = 1 / row.RoundSecs
@@ -473,10 +518,13 @@ func RunScalability(o Options) (*ScalabilityResult, error) {
 // generator, clients build lazily on first participation, each round samples
 // a few thousand participants, and no evaluator exists — so the retained
 // state under measurement is exactly the server's per-user structures: the
-// flat upload store and the bounded eligibility cache. The same training
-// then re-runs on the retained map-based store; the round histories must
-// match bit for bit, and the two stores' footprints are reported side by
-// side.
+// flat upload store, the bounded eligibility cache, and the incremental
+// graph engine's maintained rows. The same training then re-runs on the
+// retained map-based store and again under the full per-round graph rebuild;
+// all three round histories must match bit for bit, the two stores'
+// footprints are reported side by side, and the graph-incr/graph-full gap is
+// the partial-participation payoff of the dirty-delta engine (a few thousand
+// participants against a million-user store).
 func runScalabilityMemory(o Options, p data.Profile) (*ScalabilityResult, error) {
 	var hs heapSampler
 	o.logf("scalability: memory profile %s (%d users, streamed split)\n", p.Name, p.NumUsers)
@@ -505,6 +553,9 @@ func runScalabilityMemory(o Options, p data.Profile) (*ScalabilityResult, error)
 	if cfg.ClientFraction > 1 {
 		cfg.ClientFraction = 1
 	}
+	if o.Rounds > 0 {
+		cfg.Rounds = o.Rounds
+	}
 
 	res := &ScalabilityResult{
 		Profile:       p.Name,
@@ -516,16 +567,17 @@ func runScalabilityMemory(o Options, p data.Profile) (*ScalabilityResult, error)
 		MemoryProfile: true,
 	}
 
-	run := func(mapStore bool) (*fed.Trainer, []fed.RoundStats, error) {
+	run := func(mapStore, fullRebuild bool) (*fed.Trainer, []fed.RoundStats, error) {
 		rcfg := cfg
 		rcfg.MapUploadStore = mapStore
+		rcfg.FullGraphRebuild = fullRebuild
 		tr, err := fed.NewTrainer(sp, rcfg)
 		if err != nil {
 			return nil, nil, fmt.Errorf("scalability: %w", err)
 		}
 		rounds := make([]fed.RoundStats, 0, rcfg.Rounds)
 		for round := 0; round < rcfg.Rounds; round++ {
-			o.logf("scalability: memory profile round %d (map=%v)\n", round, mapStore)
+			o.logf("scalability: memory profile round %d (map=%v full-graph=%v)\n", round, mapStore, fullRebuild)
 			rounds = append(rounds, tr.RunRound(round))
 			hs.sample()
 		}
@@ -533,7 +585,7 @@ func runScalabilityMemory(o Options, p data.Profile) (*ScalabilityResult, error)
 	}
 
 	start := time.Now()
-	flatTr, flatRounds, err := run(false)
+	flatTr, flatRounds, err := run(false, false)
 	if err != nil {
 		return nil, err
 	}
@@ -550,6 +602,8 @@ func runScalabilityMemory(o Options, p data.Profile) (*ScalabilityResult, error)
 		DisperseSecs:     phases.Disperse * perRound,
 		UploadStoreBytes: flatTr.Server().UploadStoreBytes(),
 		EligCacheBytes:   flatTr.Server().EligCacheBytes(),
+		GraphIncrSecs:    phases.GraphBuild * perRound,
+		GraphEngineBytes: flatTr.Server().GraphEngineBytes(),
 	}
 	if row.RoundSecs > 0 {
 		row.RoundsPerSec = 1 / row.RoundSecs
@@ -557,7 +611,7 @@ func runScalabilityMemory(o Options, p data.Profile) (*ScalabilityResult, error)
 	row.BytesPerUser = float64(row.UploadStoreBytes+row.EligCacheBytes) / float64(sp.NumUsers)
 
 	// Map-store baseline: identical training, retained store implementation.
-	mapTr, mapRounds, err := run(true)
+	mapTr, mapRounds, err := run(true, false)
 	if err != nil {
 		return nil, err
 	}
@@ -565,6 +619,21 @@ func runScalabilityMemory(o Options, p data.Profile) (*ScalabilityResult, error)
 		res.Deterministic = false
 	}
 	res.MapUploadStoreBytes = mapTr.Server().UploadStoreBytes()
+
+	// Full-rebuild baseline: identical training, per-round from-scratch graph
+	// reconstruction. At a few thousand participants per round against the
+	// million-user store, this gap is the incremental engine's headline number.
+	fullTr, fullRounds, err := run(false, true)
+	if err != nil {
+		return nil, err
+	}
+	if !roundsEqual(flatRounds, fullRounds) {
+		res.Deterministic = false
+	}
+	row.GraphFullSecs = fullTr.PhaseSeconds().GraphBuild * perRound
+	if row.GraphIncrSecs > 0 {
+		row.GraphRebuildSpeedup = row.GraphFullSecs / row.GraphIncrSecs
+	}
 
 	hs.sample()
 	row.PeakHeapBytes = hs.peak
@@ -617,6 +686,9 @@ func (r *ScalabilityResult) Print(w io.Writer) {
 			r.Profile, r.Users, r.Items, r.Rounds, r.GOMAXPROCS)
 		fmt.Fprintf(w, "  round-secs=%.3f  client=%.3f absorb=%.3f graph=%.3f server-sgd=%.3f disperse=%.3f\n",
 			row.RoundSecs, row.ClientSecs, row.AbsorbSecs, row.GraphSecs, row.ServerTrainSecs, row.DisperseSecs)
+		fmt.Fprintf(w, "  graph engines: graph-incr=%.3f graph-full=%.3f graph-spdup=%.2fx  engine=%s\n",
+			row.GraphIncrSecs, row.GraphFullSecs, row.GraphRebuildSpeedup,
+			comm.FormatBytes(float64(row.GraphEngineBytes)))
 		fmt.Fprintf(w, "  peak-heap=%s  upload-store=%s  elig-cache=%s  server-state=%.1f bytes/user\n",
 			comm.FormatBytes(float64(row.PeakHeapBytes)), comm.FormatBytes(float64(row.UploadStoreBytes)),
 			comm.FormatBytes(float64(row.EligCacheBytes)), row.BytesPerUser)
@@ -655,6 +727,14 @@ func (r *ScalabilityResult) Print(w io.Writer) {
 			row.Workers, row.ClientSecs, row.AbsorbSecs, row.GraphSecs,
 			row.ServerTrainSecs, row.DisperseSecs, row.DisperseBatchedSecs, row.DisperseScalarSecs,
 			row.DisperseSpeedup, row.ServerTrainSpeedup, row.GraphSpeedup)
+	}
+	fmt.Fprintln(w, "  graph engines (secs/round, incremental vs full rebuild):")
+	fmt.Fprintf(w, "  %-8s %12s %12s %12s %12s\n",
+		"workers", "graph-incr", "graph-full", "graph-spdup", "graph-bytes")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "  %-8d %12.3f %12.3f %11.2fx %12s\n",
+			row.Workers, row.GraphIncrSecs, row.GraphFullSecs, row.GraphRebuildSpeedup,
+			comm.FormatBytes(float64(row.GraphEngineBytes)))
 	}
 	fmt.Fprintln(w, "  memory (post-run retained state; peak = max live heap at phase boundaries):")
 	fmt.Fprintf(w, "  %-8s %12s %13s %12s %12s %16s\n",

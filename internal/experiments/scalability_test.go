@@ -50,6 +50,14 @@ func TestRunScalability(t *testing.T) {
 		if row.DisperseBatchedSecs <= 0 || row.DisperseScalarSecs <= 0 || row.DisperseSpeedup <= 0 {
 			t.Fatalf("row %+v missing batched-vs-scalar dispersal comparison", row)
 		}
+		// And the graph engine's incremental-vs-full comparison: both phase
+		// timings, their ratio, and the maintained engine's footprint.
+		if row.GraphIncrSecs <= 0 || row.GraphFullSecs <= 0 || row.GraphRebuildSpeedup <= 0 {
+			t.Fatalf("row %+v missing incremental-vs-full graph comparison", row)
+		}
+		if row.GraphEngineBytes <= 0 {
+			t.Fatalf("row %+v missing graph engine footprint", row)
+		}
 	}
 	if res.OverlapSequentialSecs <= 0 || res.OverlapConcurrentSecs <= 0 || res.OverlapSpeedup <= 0 {
 		t.Fatalf("missing eval+dispersal overlap measurement: %+v", res)

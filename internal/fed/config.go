@@ -125,6 +125,17 @@ type Config struct {
 	// experiment's store columns and the upload-store invariance suite.
 	MapUploadStore bool
 
+	// FullGraphRebuild forces the server's per-round graph reconstruction
+	// through the full O(all users, all edges) path — re-select every stored
+	// user's edges, rebuild the Bipartite, and reconstruct the normalized
+	// adjacencies from triplets — instead of the incremental engine that
+	// maintains rows, degree vectors, and postings in O(changed users +
+	// affected items). Results are bitwise-identical either way — the knob is
+	// the timing baseline (the MapUploadStore pattern) for the scalability
+	// experiment's graph-full/graph-spdup columns and the graph invariance
+	// suite.
+	FullGraphRebuild bool
+
 	// EligCacheEntries bounds the dispersal eligibility cache: at most this
 	// many per-client eligible lists stay resident, recycled LRU, so
 	// dispersal memory is budget × NumItems × 4 B instead of growing with

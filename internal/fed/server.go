@@ -55,6 +55,17 @@ type Server struct {
 	edgeOff    []int
 	edgeSlab   []graph.Edge
 	edgeSort   edgeSorter
+
+	// Incremental graph engine state (graph server models only): the
+	// maintained adjacency, the reused dirty-user buffer, and the permanent
+	// fallback flag. The engine requires strictly positive edge weights (the
+	// full build skips zero-degree endpoints, which would make row membership
+	// data-dependent); a non-positive selected weight — only reachable with
+	// GraphThreshold <= 0 — trips incBroken and every later round takes the
+	// full rebuild, which is bitwise-identical anyway.
+	inc       *graph.Incremental
+	incDirty  []int
+	incBroken bool
 }
 
 // newServer builds the hidden server model.
@@ -119,6 +130,16 @@ func (sv *Server) UploadStoreBytes() int64 { return sv.store.MemoryBytes() }
 // EligCacheBytes reports the resident bytes of the dispersal eligibility
 // cache.
 func (sv *Server) EligCacheBytes() int64 { return sv.elig.memoryBytes() }
+
+// GraphEngineBytes reports the resident bytes of the incremental graph
+// engine's maintained rows, postings, and scratch (0 when the server model
+// is not a graph model or runs with FullGraphRebuild).
+func (sv *Server) GraphEngineBytes() int64 {
+	if sv.inc == nil {
+		return 0
+	}
+	return sv.inc.MemoryBytes()
+}
 
 // countUploadItems accumulates the uploads' item frequencies into counts.
 // Out-of-range items are skipped; the bound is len(counts) — the item
@@ -194,12 +215,30 @@ func (sv *Server) absorb(uploads [][]comm.Prediction, workers int) {
 // replayed in user order. Edge insertion order — which decides the order
 // degree weights accumulate in, and therefore the propagated floats —
 // matches the serial construction exactly for any worker count.
+//
+// When the server model implements GraphDeltaRecommender, the default path
+// is incremental: only users whose stored upload changed since the last
+// rebuild (the store's dirty set) re-run edge selection, and the maintained
+// adjacency engine patches exactly the affected rows, degrees, and
+// normalization values — bitwise-identical to the full rebuild by the
+// engine's construction. Config.FullGraphRebuild retains the full path as
+// the timing baseline.
 func (sv *Server) rebuildGraph(workers int) {
 	gm, ok := sv.model.(models.GraphRecommender)
 	if !ok {
 		return
 	}
+	if dm, ok := sv.model.(models.GraphDeltaRecommender); ok && !sv.cfg.FullGraphRebuild && !sv.incBroken {
+		if sv.rebuildGraphIncremental(dm, workers) {
+			return
+		}
+		sv.incBroken = true
+	}
 	users, off, slab := sv.collectEdges(workers)
+	// The full path consumes the round's dirty set too, so a later switch
+	// between the paths (or the incBroken fallback) never replays stale
+	// deltas.
+	sv.store.ResetDirty()
 	g := graph.NewBipartite(sv.numUsers, sv.numItems)
 	for i := range users {
 		for _, e := range slab[off[i]:off[i+1]] {
@@ -209,6 +248,32 @@ func (sv *Server) rebuildGraph(workers int) {
 	gm.SetGraph(g)
 }
 
+// rebuildGraphIncremental runs edge selection for the dirty users only and
+// commits the delta to the maintained adjacency engine. It returns false —
+// without touching the engine — if any selected weight is non-positive; the
+// caller then falls back to the full rebuild permanently.
+func (sv *Server) rebuildGraphIncremental(dm models.GraphDeltaRecommender, workers int) bool {
+	dirty := sv.store.DirtyUsers(sv.incDirty[:0])
+	sv.incDirty = dirty
+	off, slab := sv.collectEdgesFor(dirty, workers)
+	for i := range slab {
+		if !(slab[i].Weight > 0) {
+			return false
+		}
+	}
+	if sv.inc == nil {
+		sv.inc = graph.NewIncremental(sv.numUsers, sv.numItems)
+	}
+	sv.inc.Begin()
+	for i, u := range dirty {
+		sv.inc.StageUser(u, slab[off[i]:off[i+1]])
+	}
+	sv.inc.Commit(workers)
+	sv.store.ResetDirty()
+	dm.SetGraphIncremental(sv.inc)
+	return true
+}
+
 // collectEdges gathers every stored user's selected edges into the server's
 // reused edge slab: users (ascending), per-user offsets into the slab, and
 // the slab itself. Steady-state calls at workers<=1 allocate nothing; the
@@ -216,6 +281,13 @@ func (sv *Server) rebuildGraph(workers int) {
 func (sv *Server) collectEdges(workers int) (users, off []int, slab []graph.Edge) {
 	users = sv.store.Users(sv.graphUsers[:0])
 	sv.graphUsers = users
+	off, slab = sv.collectEdgesFor(users, workers)
+	return users, off, slab
+}
+
+// collectEdgesFor runs the two-pass count/fill edge selection over the given
+// users (ascending), reusing the server's offset and slab scratch.
+func (sv *Server) collectEdgesFor(users []int, workers int) (off []int, slab []graph.Edge) {
 	off = sv.edgeOff
 	if cap(off) < len(users)+1 {
 		off = make([]int, len(users)+1)
@@ -263,7 +335,7 @@ func (sv *Server) collectEdges(workers int) (users, off []int, slab []graph.Edge
 			}
 		})
 	}
-	return users, off, slab
+	return off, slab
 }
 
 // countEdges returns how many edges the configured soft-positive rule

@@ -300,17 +300,24 @@ func (t *Trainer) runRound(round int, withEval bool) (RoundStats, eval.Result) {
 	// When an evaluation is due it runs concurrently with dispersal: after
 	// the shared warm step both are pure reads of the frozen server model
 	// (dispersal additionally writes per-client D̃ᵢ, which eval never
-	// touches), so the overlap changes wall-clock only — never results.
+	// touches), so the overlap changes wall-clock only — never results. The
+	// overlap is gated on GOMAXPROCS > 1: on a single-core host the two
+	// phases just time-slice one thread and the goroutine handoffs make the
+	// pair slower than running them back to back, so eval falls back to a
+	// sequential run after dispersal (same results, same phase accounting).
 	phaseStart = time.Now()
+	overlapEval := withEval && runtime.GOMAXPROCS(0) > 1
 	// Warm before an overlapped eval unconditionally; otherwise only a
-	// parallel dispersal with work to do needs the shared caches hot.
-	if w, ok := t.server.model.(models.Warmer); ok && (withEval || (workers > 1 && len(results) > 0)) {
+	// parallel dispersal with work to do needs the shared caches hot. (The
+	// sequential-eval fallback warms inside EvaluateServer like any other
+	// eval; warming is idempotent and bitwise-neutral either way.)
+	if w, ok := t.server.model.(models.Warmer); ok && (overlapEval || (workers > 1 && len(results) > 0)) {
 		w.WarmScoring()
 	}
 	var evalRes eval.Result
 	var evalSecs float64
 	var evalDone chan struct{}
-	if withEval {
+	if overlapEval {
 		evalDone = make(chan struct{})
 		evalStart := time.Now()
 		go func() {
@@ -384,7 +391,13 @@ func (t *Trainer) runRound(round int, withEval bool) (RoundStats, eval.Result) {
 	}
 	t.phases.Disperse += time.Since(phaseStart).Seconds()
 	if withEval {
-		<-evalDone
+		if evalDone != nil {
+			<-evalDone
+		} else {
+			evalStart := time.Now()
+			evalRes = t.EvaluateServer()
+			evalSecs = time.Since(evalStart).Seconds()
+		}
 		t.phases.Eval += evalSecs
 		t.phases.DisperseEvalWall += time.Since(phaseStart).Seconds()
 	}

@@ -38,6 +38,14 @@ type uploadStore interface {
 	// Count returns how many users have a stored upload.
 	Count() int
 
+	// DirtyUsers appends, in ascending order, every user whose stored upload
+	// changed since the last ResetDirty and returns dst. Non-consuming: the
+	// incremental graph path reads the set, rebuilds, then calls ResetDirty.
+	DirtyUsers(dst []int) []int
+
+	// ResetDirty clears the dirty-user set.
+	ResetDirty()
+
 	// MemoryBytes reports the store's resident footprint.
 	MemoryBytes() int64
 }
@@ -72,6 +80,12 @@ type uploadShard struct {
 	cap_ []int32 // per local user: reserved region capacity
 	dead int     // slab entries in abandoned regions
 	live int     // slab entries in reserved regions of users with an upload
+
+	// dirty is a bitset over the shard's local users, marking uploads written
+	// since the last ResetDirty (1 bit per user; ~0.125 B/user). dirtyAny
+	// lets the dirty scan and reset skip untouched shards entirely.
+	dirty    []uint64
+	dirtyAny bool
 }
 
 // set absorbs this shard's share of a round: idxs selects the batch uploads
@@ -154,10 +168,11 @@ func newFlatUploadStore(numUsers int) *flatUploadStore {
 			span = numUsers - lo
 		}
 		st.shards[si] = uploadShard{
-			lo:   lo,
-			off:  make([]int32, span),
-			n:    make([]int32, span),
-			cap_: make([]int32, span),
+			lo:    lo,
+			off:   make([]int32, span),
+			n:     make([]int32, span),
+			cap_:  make([]int32, span),
+			dirty: make([]uint64, (span+63)/64),
 		}
 	}
 	return st
@@ -176,9 +191,13 @@ func (st *flatUploadStore) SetBatch(uploads [][]comm.Prediction, workers int) {
 			continue
 		}
 		si := up[0].User >> st.strideBits
-		if st.shards[si].n[up[0].User-st.shards[si].lo] == 0 {
+		sh := &st.shards[si]
+		local := up[0].User - sh.lo
+		if sh.n[local] == 0 {
 			st.users++
 		}
+		sh.dirty[local>>6] |= 1 << (uint(local) & 63)
+		sh.dirtyAny = true
 		st.route[si] = append(st.route[si], int32(i))
 	}
 	if par.Workers(workers) <= 1 {
@@ -218,12 +237,43 @@ func (st *flatUploadStore) Users(dst []int) []int {
 
 func (st *flatUploadStore) Count() int { return st.users }
 
+func (st *flatUploadStore) DirtyUsers(dst []int) []int {
+	for si := range st.shards {
+		sh := &st.shards[si]
+		if !sh.dirtyAny {
+			continue
+		}
+		for wi, w := range sh.dirty {
+			for w != 0 {
+				b := bits.TrailingZeros64(w)
+				dst = append(dst, sh.lo+wi*64+b)
+				w &^= 1 << uint(b)
+			}
+		}
+	}
+	return dst
+}
+
+func (st *flatUploadStore) ResetDirty() {
+	for si := range st.shards {
+		sh := &st.shards[si]
+		if !sh.dirtyAny {
+			continue
+		}
+		for wi := range sh.dirty {
+			sh.dirty[wi] = 0
+		}
+		sh.dirtyAny = false
+	}
+}
+
 func (st *flatUploadStore) MemoryBytes() int64 {
 	var b int64
 	for si := range st.shards {
 		sh := &st.shards[si]
 		b += int64(cap(sh.slab)) * comm.PredictionMemBytes
 		b += int64(len(sh.off)+len(sh.n)+len(sh.cap_)) * 4
+		b += int64(len(sh.dirty)) * 8
 	}
 	for _, r := range st.route {
 		b += int64(cap(r)) * 4
@@ -234,11 +284,12 @@ func (st *flatUploadStore) MemoryBytes() int64 {
 // mapUploadStore is the historical map-of-slices state, kept as the
 // baseline: each entry aliases the round's upload slice directly.
 type mapUploadStore struct {
-	m map[int][]comm.Prediction
+	m     map[int][]comm.Prediction
+	dirty map[int]struct{}
 }
 
 func newMapUploadStore() *mapUploadStore {
-	return &mapUploadStore{m: map[int][]comm.Prediction{}}
+	return &mapUploadStore{m: map[int][]comm.Prediction{}, dirty: map[int]struct{}{}}
 }
 
 func (st *mapUploadStore) SetBatch(uploads [][]comm.Prediction, workers int) {
@@ -247,6 +298,7 @@ func (st *mapUploadStore) SetBatch(uploads [][]comm.Prediction, workers int) {
 			continue
 		}
 		st.m[up[0].User] = up
+		st.dirty[up[0].User] = struct{}{}
 	}
 }
 
@@ -262,6 +314,19 @@ func (st *mapUploadStore) Users(dst []int) []int {
 }
 
 func (st *mapUploadStore) Count() int { return len(st.m) }
+
+func (st *mapUploadStore) DirtyUsers(dst []int) []int {
+	start := len(dst)
+	for u := range st.dirty {
+		dst = append(dst, u)
+	}
+	sort.Ints(dst[start:])
+	return dst
+}
+
+func (st *mapUploadStore) ResetDirty() {
+	clear(st.dirty)
+}
 
 // mapEntryOverheadBytes approximates one map entry's bookkeeping: the
 // int key, the slice header, and the runtime's per-entry bucket share.

@@ -63,6 +63,14 @@ func (g *Bipartite) ItemDegree(v int) float64 { return g.itemDeg[v] }
 // edge index, so the partitioning never affects the result.
 const adjEdgeChunk = 4096
 
+// normVal is the symmetric normalization of a single edge weight:
+// w / sqrt(du·dv). It is the one place this expression lives — the full
+// triplet build and the incremental engine both call it, so their outputs
+// are bitwise-equal by construction, not by accident of compilation.
+func normVal(w, du, dv float64) float64 {
+	return w / math.Sqrt(du*dv)
+}
+
 // normalizedTriplets fills the symmetric (edge, mirror) triplet pairs for
 // every edge with positive endpoint degrees, sharding the normalisation over
 // workers, and compacts out the skipped edges in index order — exactly the
@@ -79,7 +87,7 @@ func (g *Bipartite) normalizedTriplets(extra, workers int) []tensor.Triplet {
 				trips[2*i+1] = tensor.Triplet{Row: -1}
 				continue
 			}
-			w := e.Weight / math.Sqrt(du*dv)
+			w := normVal(e.Weight, du, dv)
 			un := e.User
 			vn := g.NumUsers + e.Item
 			trips[2*i] = tensor.Triplet{Row: un, Col: vn, Val: w}

@@ -56,6 +56,16 @@ func (m *LightGCN) SetGraph(g *graph.Bipartite) {
 	m.dirty = true
 }
 
+// SetGraphIncremental implements GraphDeltaRecommender: the maintained
+// adjacency is assembled straight into the model's reused CSR buffer.
+func (m *LightGCN) SetGraphIncremental(inc *graph.Incremental) {
+	if inc.NumUsers() != m.cfg.NumUsers || inc.NumItems() != m.cfg.NumItems {
+		panic("models: LightGCN graph universe mismatch")
+	}
+	m.adj = inc.AdjInto(m.adj, m.workers)
+	m.dirty = true
+}
+
 // propagate returns the cached layer-mean embeddings, recomputing when the
 // parameters or graph changed. The SpMM shards over row ranges on the
 // TrainWorkers pool, bitwise-identical for any worker count.

@@ -49,6 +49,19 @@ type GraphRecommender interface {
 	SetGraph(g *graph.Bipartite)
 }
 
+// GraphDeltaRecommender is implemented by graph models that can take their
+// propagation operators directly from an incrementally-maintained adjacency
+// engine instead of rebuilding them from triplets. The assembled operators
+// are bitwise-identical to SetGraph on the equivalent Bipartite (the engine's
+// contract), so a model may alternate freely between the two entry points;
+// the federated server prefers this one unless Config.FullGraphRebuild. The
+// model's operator buffers are reused across calls — the engine copies into
+// them, it does not retain them.
+type GraphDeltaRecommender interface {
+	GraphRecommender
+	SetGraphIncremental(inc *graph.Incremental)
+}
+
 // Scorer is the minimal scoring capability — one user against a list of
 // candidate items — and the root of the scoring interface family consumed by
 // the evaluator and the dispersal engine (InplaceScorer, BlockScorer, and

@@ -84,6 +84,17 @@ func (m *NGCF) SetGraph(g *graph.Bipartite) {
 	m.dirty = true
 }
 
+// SetGraphIncremental implements GraphDeltaRecommender: both propagation
+// operators are assembled straight into the model's reused CSR buffers.
+func (m *NGCF) SetGraphIncremental(inc *graph.Incremental) {
+	if inc.NumUsers() != m.cfg.NumUsers || inc.NumItems() != m.cfg.NumItems {
+		panic("models: NGCF graph universe mismatch")
+	}
+	m.adj = inc.AdjInto(m.adj, m.workers)
+	m.adjSelf = inc.AdjSelfInto(m.adjSelf, m.workers)
+	m.dirty = true
+}
+
 // propagate fills the layer caches if stale. The SpMMs and dense products
 // shard over row ranges on the TrainWorkers pool, bitwise-identical for any
 // worker count.

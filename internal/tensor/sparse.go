@@ -13,9 +13,11 @@ type Triplet struct {
 	Val      float64
 }
 
-// CSR is a compressed sparse row matrix. It is immutable after construction;
-// the graph recommenders build one normalized adjacency per round and reuse it
-// for every propagation.
+// CSR is a compressed sparse row matrix. It is immutable once filled; the
+// graph recommenders take one normalized adjacency per round and reuse it for
+// every propagation. Construction is either NewCSRPar (from triplets) or the
+// in-place Reshape/GrowNNZ assembly path used by engines that already hold
+// the matrix row-by-row (the incremental graph engine).
 type CSR struct {
 	Rows, Cols int
 	RowPtr     []int     // len Rows+1
@@ -190,6 +192,38 @@ func NewCSRPar(rows, cols int, entries []Triplet, workers int) *CSR {
 		}
 	})
 	return m
+}
+
+// Reshape prepares m for in-place assembly as a rows×cols matrix: RowPtr is
+// resized to rows+1 (reusing its backing array when it has capacity) and left
+// with unspecified contents. The caller fills RowPtr as a prefix sum over row
+// lengths, calls GrowNNZ, then fills ColIdx/Val. This is the buffer-reuse
+// entry point for engines that assemble a CSR every round without paying
+// NewCSRPar's scatter passes and their per-range rows-sized histograms.
+func (m *CSR) Reshape(rows, cols int) {
+	m.Rows, m.Cols = rows, cols
+	if cap(m.RowPtr) < rows+1 {
+		m.RowPtr = make([]int, rows+1)
+	} else {
+		m.RowPtr = m.RowPtr[:rows+1]
+	}
+}
+
+// GrowNNZ sizes ColIdx and Val for the entry count a filled RowPtr announces
+// (RowPtr[Rows]), reusing backing arrays when they have capacity. Contents
+// are unspecified; the caller overwrites every entry.
+func (m *CSR) GrowNNZ() {
+	nnz := m.RowPtr[m.Rows]
+	if cap(m.ColIdx) < nnz {
+		m.ColIdx = make([]int, nnz)
+	} else {
+		m.ColIdx = m.ColIdx[:nnz]
+	}
+	if cap(m.Val) < nnz {
+		m.Val = make([]float64, nnz)
+	} else {
+		m.Val = m.Val[:nnz]
+	}
 }
 
 // NNZ returns the number of stored entries.
