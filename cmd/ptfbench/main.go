@@ -9,6 +9,7 @@
 //	ptfbench -exp scalability -profile huge-1m   # 1M-user memory profile
 //	ptfbench -list                       # list experiment ids
 //	ptfbench -exp all                    # run everything
+//	ptfbench -connect http://host:8470 -users 0:500   # join a ptfserve run
 //
 // The scalability sweep reports, per worker count, round and eval timings
 // plus a batched-vs-scalar comparison (the same evaluation forced through
@@ -21,13 +22,16 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"time"
 
 	"ptffedrec"
+	"ptffedrec/internal/coord"
 	"ptffedrec/internal/data"
 	"ptffedrec/internal/experiments"
 )
@@ -55,8 +59,18 @@ func main() {
 		list    = flag.Bool("list", false, "list experiment ids and exit")
 		verbose = flag.Bool("v", false, "log per-run progress")
 		asJSON  = flag.Bool("json", false, "emit one JSON object per experiment instead of tables")
+		connect = flag.String("connect", "", "participant mode: base URL of a ptfserve coordinator")
+		users   = flag.String("users", "", "participant mode: hosted user range as lo:hi")
 	)
 	flag.Parse()
+
+	if *connect != "" {
+		if err := runParticipant(*connect, *users); err != nil {
+			fmt.Fprintf(os.Stderr, "ptfbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list {
 		for _, id := range ptffedrec.ExperimentIDs {
@@ -122,4 +136,27 @@ func main() {
 		res.Print(os.Stdout)
 		fmt.Printf("  (%s finished in %v)\n\n", id, elapsed.Round(time.Millisecond))
 	}
+}
+
+// runParticipant joins a ptfserve coordinator as the host of a user range
+// and processes rounds until the coordinator shuts the run down. Everything
+// else — dataset, split, and training configuration — arrives through the
+// join handshake.
+func runParticipant(base, users string) error {
+	var lo, hi int
+	if n, err := fmt.Sscanf(users, "%d:%d", &lo, &hi); n != 2 || err != nil {
+		return fmt.Errorf("-connect needs -users lo:hi (got %q)", users)
+	}
+	p, err := coord.Join(base, lo, hi, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("ptfbench: joined %s as session %d hosting users [%d, %d)\n", base, p.Token(), lo, hi)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := p.Run(ctx); err != nil {
+		return err
+	}
+	fmt.Println("ptfbench: coordinator shut the run down; leaving")
+	return nil
 }

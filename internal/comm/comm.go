@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 )
 
 // Prediction is one scored triple (uᵢ, vⱼ, r̂ᵢⱼ) — the knowledge carrier of
@@ -104,89 +105,122 @@ func DecodePredictionsQuantized(buf []byte) ([]Prediction, error) {
 	return out, nil
 }
 
+// meterShards partitions the meter's per-client counters. In the networked
+// coordinator, uploads from concurrent connections meter per-client bytes in
+// parallel; sharding by client id keeps those updates off one hot mutex.
+// A power of two so the shard index is a mask.
+const meterShards = 64
+
+// meterShard is one client partition's counters under its own lock, padded
+// to a cache line so neighbouring shards never false-share.
+type meterShard struct {
+	mu   sync.Mutex
+	up   map[int]int64
+	down map[int]int64
+	_    [24]byte
+}
+
 // Meter accumulates per-client upload/download bytes across rounds. It is
-// safe for concurrent use (clients train in parallel goroutines).
+// safe for concurrent use from any number of goroutines: per-client byte
+// counters shard over client id (the round engine's parallel dispersal and
+// the coordinator's concurrent upload handlers both hammer it), and the
+// round counter is atomic.
 type Meter struct {
-	mu     sync.Mutex
-	up     map[int]int64
-	down   map[int]int64
-	rounds int
+	shards [meterShards]meterShard
+	rounds atomic.Int64
 }
 
 // NewMeter returns an empty meter.
 func NewMeter() *Meter {
-	return &Meter{up: map[int]int64{}, down: map[int]int64{}}
+	m := &Meter{}
+	for i := range m.shards {
+		m.shards[i].up = map[int]int64{}
+		m.shards[i].down = map[int]int64{}
+	}
+	return m
+}
+
+// shard maps a client id to its counter partition. Negative ids (not
+// produced by the protocol, but the meter should never panic) fold in too.
+func (m *Meter) shard(client int) *meterShard {
+	return &m.shards[uint(client)&(meterShards-1)]
 }
 
 // AddUp records bytes sent from a client to the server.
 func (m *Meter) AddUp(client, bytes int) {
-	m.mu.Lock()
-	m.up[client] += int64(bytes)
-	m.mu.Unlock()
+	sh := m.shard(client)
+	sh.mu.Lock()
+	sh.up[client] += int64(bytes)
+	sh.mu.Unlock()
 }
 
 // AddDown records bytes sent from the server to a client.
 func (m *Meter) AddDown(client, bytes int) {
-	m.mu.Lock()
-	m.down[client] += int64(bytes)
-	m.mu.Unlock()
+	sh := m.shard(client)
+	sh.mu.Lock()
+	sh.down[client] += int64(bytes)
+	sh.mu.Unlock()
 }
 
 // EndRound marks the completion of one global round.
-func (m *Meter) EndRound() {
-	m.mu.Lock()
-	m.rounds++
-	m.mu.Unlock()
-}
+func (m *Meter) EndRound() { m.rounds.Add(1) }
 
 // TotalUp returns total client→server bytes.
 func (m *Meter) TotalUp() int64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	var t int64
-	for _, v := range m.up {
-		t += v
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.Lock()
+		for _, v := range sh.up {
+			t += v
+		}
+		sh.mu.Unlock()
 	}
 	return t
 }
 
 // TotalDown returns total server→client bytes.
 func (m *Meter) TotalDown() int64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	var t int64
-	for _, v := range m.down {
-		t += v
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.Lock()
+		for _, v := range sh.down {
+			t += v
+		}
+		sh.mu.Unlock()
 	}
 	return t
 }
 
 // Rounds returns the number of completed rounds.
-func (m *Meter) Rounds() int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.rounds
-}
+func (m *Meter) Rounds() int { return int(m.rounds.Load()) }
 
 // AvgPerClientPerRound returns the mean bytes (up+down) one client exchanges
 // in one round — the quantity Table IV reports.
 func (m *Meter) AvgPerClientPerRound() float64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	clients := map[int]bool{}
-	var total int64
-	for c, v := range m.up {
-		clients[c] = true
-		total += v
+	var clients, total int64
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.Lock()
+		for c, v := range sh.up {
+			clients++
+			total += v
+			if _, alsoDown := sh.down[c]; alsoDown {
+				clients-- // counted once below
+			}
+		}
+		for _, v := range sh.down {
+			clients++
+			total += v
+		}
+		sh.mu.Unlock()
 	}
-	for c, v := range m.down {
-		clients[c] = true
-		total += v
-	}
-	if len(clients) == 0 || m.rounds == 0 {
+	rounds := m.rounds.Load()
+	if clients == 0 || rounds == 0 {
 		return 0
 	}
-	return float64(total) / float64(len(clients)) / float64(m.rounds)
+	return float64(total) / float64(clients) / float64(rounds)
 }
 
 // FormatBytes renders a byte count the way the paper's Table IV does

@@ -1,0 +1,638 @@
+// Package coord is the networked deployment of PTF-FedRec: an HTTP
+// coordinator service wrapping fed.RoundEngine, and a Participant that runs
+// fed.ClientHost against it speaking only the comm wire protocol.
+//
+// The transport carries nothing the protocol does not: registration
+// (join/leave), round announcements over a long-poll channel, streamed
+// upload bodies, and streamed dispersal results. Both halves derive their
+// randomness purely from the shared seed, so a coordinator plus any
+// partition of users across participants reproduces the in-process
+// fed.Trainer history bitwise — the loopback suite pins exactly that.
+//
+// Fault semantics follow real transports: an empty upload body is a
+// connection drop (the client is counted as dropped), an upload stream that
+// ends after at least one prediction without its MsgUploadEnd frame is a
+// short write (the server keeps the received prefix). A round with a
+// configured straggler deadline closes with partial participation — pending
+// clients become dropped — instead of waiting forever.
+package coord
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ptffedrec/internal/comm"
+	"ptffedrec/internal/data"
+	"ptffedrec/internal/eval"
+	"ptffedrec/internal/fed"
+)
+
+// pollWait is how long a /v1/poll request parks before returning a
+// heartbeat. A variable so tests can shrink it.
+var pollWait = 25 * time.Second
+
+// Options configures the coordinator service beyond the protocol Config.
+type Options struct {
+	// Profile names the synthetic dataset profile participants rebuild their
+	// split from (data.ProfileByName); DataSeed and TestFrac complete the
+	// split recipe. These ride the JoinAck.
+	Profile  string
+	DataSeed uint64
+	TestFrac float64
+
+	// Deadline bounds how long a round waits for its pending uploads after
+	// announcement. Zero waits forever. When it expires the round closes
+	// with the stragglers counted as dropped.
+	Deadline time.Duration
+}
+
+// session is one registered participant process hosting users [lo, hi).
+type session struct {
+	token  uint64
+	lo, hi int
+
+	// events is the session's announcement log (framed RoundStart/Shutdown
+	// messages); /v1/poll serves the suffix past the caller's cursor. wake is
+	// closed and replaced whenever an event lands.
+	events [][]byte
+	wake   chan struct{}
+}
+
+// roundState tracks one announced round until its result is published.
+type roundState struct {
+	round      int
+	slots      map[int]int // user -> outcome slot (Select order)
+	unresolved map[int]bool
+	outcomes   []fed.ClientOutcome
+	pending    int
+
+	closed bool          // no further uploads accepted
+	done   chan struct{} // closed when every pending upload resolved (or deadline)
+
+	stats       fed.RoundStats
+	dispersals  []fed.Dispersal
+	resultReady chan struct{}
+}
+
+// Coordinator serves the PTF-FedRec server side over HTTP: participant
+// lifecycle, per-round cohort announcements, upload ingestion, and dispersal
+// delivery, with fed.RoundEngine doing all protocol computation.
+type Coordinator struct {
+	engine     *fed.RoundEngine
+	split      *data.Split
+	cfg        fed.Config
+	opts       Options
+	configJSON []byte
+	evaluator  *eval.Evaluator
+
+	mu        sync.Mutex
+	sessions  map[uint64]*session
+	nextToken uint64
+	rounds    map[int]*roundState
+	down      bool // run finished; new joins get an immediate shutdown
+
+	// wireIn/wireOut count every frame byte crossing the HTTP boundary —
+	// the transport-level complement of the engine's protocol-level Meter.
+	wireIn, wireOut atomic.Int64
+}
+
+// New builds a coordinator for the split. cfg drives the embedded round
+// engine; opts describes the world participants reconstruct and the round
+// deadline policy.
+func New(sp *data.Split, cfg fed.Config, opts Options) (*Coordinator, error) {
+	engine, err := fed.NewRoundEngine(sp.NumUsers, sp.NumItems, cfg)
+	if err != nil {
+		return nil, err
+	}
+	cfgJSON, err := json.Marshal(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("coord: marshal config: %w", err)
+	}
+	return &Coordinator{
+		engine:     engine,
+		split:      sp,
+		cfg:        cfg,
+		opts:       opts,
+		configJSON: cfgJSON,
+		sessions:   make(map[uint64]*session),
+		rounds:     make(map[int]*roundState),
+	}, nil
+}
+
+// Engine exposes the embedded round engine (final model, meter, phases).
+func (c *Coordinator) Engine() *fed.RoundEngine { return c.engine }
+
+// WireBytes reports total frame bytes received and sent over the transport.
+func (c *Coordinator) WireBytes() (in, out int64) {
+	return c.wireIn.Load(), c.wireOut.Load()
+}
+
+// Sessions reports the number of registered participant sessions; a server
+// can hold the run until enough hosts have joined.
+func (c *Coordinator) Sessions() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.sessions)
+}
+
+// ShareEvaluator hands the coordinator a prebuilt candidate cache for its
+// split (see fed.Trainer.ShareEvaluator). Call before Run.
+func (c *Coordinator) ShareEvaluator(e *eval.Evaluator) { c.evaluator = e }
+
+// Handler returns the coordinator's HTTP API.
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/join", c.handleJoin)
+	mux.HandleFunc("/v1/leave", c.handleLeave)
+	mux.HandleFunc("/v1/poll", c.handlePoll)
+	mux.HandleFunc("/v1/upload", c.handleUpload)
+	mux.HandleFunc("/v1/result", c.handleResult)
+	return mux
+}
+
+// Run drives the configured number of rounds against whatever participants
+// have joined, then evaluates, broadcasts shutdown, and returns the history.
+// The history is bitwise-identical to fed.Trainer.Run on the same (split,
+// config) when every user is hosted and no transport faults strike.
+func (c *Coordinator) Run(ctx context.Context) (*fed.History, error) {
+	h := &fed.History{}
+	evaluator := func() *eval.Evaluator {
+		if c.evaluator == nil {
+			c.evaluator = c.engine.NewEvaluator(c.split)
+		}
+		return c.evaluator
+	}
+	for round := 0; round < c.cfg.Rounds; round++ {
+		rs := c.openRound(round, c.engine.Select(round))
+		if err := c.waitRound(ctx, rs); err != nil {
+			return nil, err
+		}
+		stats, dispersals := c.engine.CloseRound(round, rs.outcomes, nil)
+		if c.cfg.EvalEvery > 0 && (round+1)%c.cfg.EvalEvery == 0 {
+			res := c.engine.Evaluate(evaluator())
+			stats.Recall, stats.NDCG, stats.Evaluated = res.Recall, res.NDCG, true
+		}
+		c.mu.Lock()
+		rs.stats = stats
+		rs.dispersals = dispersals
+		close(rs.resultReady)
+		c.mu.Unlock()
+		h.Rounds = append(h.Rounds, stats)
+		h.MeanAttackF1 += stats.AttackF1
+	}
+	if len(h.Rounds) > 0 {
+		h.MeanAttackF1 /= float64(len(h.Rounds))
+	}
+	h.Final = c.engine.Evaluate(evaluator())
+	c.mu.Lock()
+	c.down = true
+	shutdown := comm.AppendFrame(nil, comm.MsgShutdown, nil)
+	for _, s := range c.sessions {
+		c.announceLocked(s, shutdown)
+	}
+	c.mu.Unlock()
+	return h, nil
+}
+
+// openRound binds the selected cohort to outcome slots, announces the round
+// to every session, and returns its state. Users no session hosts are
+// resolved as dropped immediately — a real deployment cannot train a user
+// nobody runs.
+func (c *Coordinator) openRound(round int, users []int) *roundState {
+	rs := &roundState{
+		round:       round,
+		slots:       make(map[int]int, len(users)),
+		unresolved:  make(map[int]bool),
+		outcomes:    make([]fed.ClientOutcome, len(users)),
+		done:        make(chan struct{}),
+		resultReady: make(chan struct{}),
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for slot, u := range users {
+		rs.slots[u] = slot
+		rs.outcomes[slot] = fed.ClientOutcome{ID: u, Dropped: true}
+		if c.sessionForLocked(u) != nil {
+			rs.unresolved[u] = true
+			rs.pending++
+		}
+	}
+	if rs.pending == 0 {
+		rs.closed = true
+		close(rs.done)
+	}
+	c.rounds[round] = rs
+	// Keep a short tail of closed rounds so a participant one round behind
+	// can still fetch its dispersals.
+	delete(c.rounds, round-3)
+	for _, s := range c.sessions {
+		hosted := make([]int, 0, 8)
+		for _, u := range users {
+			if s.lo <= u && u < s.hi {
+				hosted = append(hosted, u)
+			}
+		}
+		c.announceLocked(s, comm.AppendFrame(nil, comm.MsgRoundStart,
+			comm.EncodeRoundStart(comm.RoundStart{Round: round, Users: hosted})))
+	}
+	return rs
+}
+
+// waitRound blocks until the round's uploads resolve, the straggler deadline
+// expires (pending clients become dropped), or ctx ends.
+func (c *Coordinator) waitRound(ctx context.Context, rs *roundState) error {
+	var deadline <-chan time.Time
+	if c.opts.Deadline > 0 {
+		timer := time.NewTimer(c.opts.Deadline)
+		defer timer.Stop()
+		deadline = timer.C
+	}
+	select {
+	case <-rs.done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-deadline:
+		c.mu.Lock()
+		if !rs.closed {
+			// Slots were pre-initialised as dropped, so stragglers need only
+			// be forgotten.
+			rs.closed = true
+			for u := range rs.unresolved {
+				delete(rs.unresolved, u)
+			}
+			rs.pending = 0
+			close(rs.done)
+		}
+		c.mu.Unlock()
+		return nil
+	}
+}
+
+// sessionForLocked finds the session hosting user u, if any. c.mu held.
+func (c *Coordinator) sessionForLocked(u int) *session {
+	for _, s := range c.sessions {
+		if s.lo <= u && u < s.hi {
+			return s
+		}
+	}
+	return nil
+}
+
+// announceLocked appends a framed event to the session's log and wakes any
+// parked poll. c.mu held.
+func (c *Coordinator) announceLocked(s *session, frame []byte) {
+	s.events = append(s.events, frame)
+	close(s.wake)
+	s.wake = make(chan struct{})
+}
+
+// resolveUpload records one user's outcome, closing the round when it was
+// the last pending upload. Returns false when the round no longer accepts
+// uploads for this user (closed, unknown, or already resolved).
+func (c *Coordinator) resolveUpload(round int, user int, o fed.ClientOutcome) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	rs := c.rounds[round]
+	if rs == nil || rs.closed || !rs.unresolved[user] {
+		return false
+	}
+	rs.outcomes[rs.slots[user]] = o
+	delete(rs.unresolved, user)
+	rs.pending--
+	if rs.pending == 0 {
+		rs.closed = true
+		close(rs.done)
+	}
+	return true
+}
+
+// --- HTTP handlers -------------------------------------------------------
+
+// countReader counts body bytes for the transport meter.
+type countReader struct {
+	r io.Reader
+	n int64
+}
+
+func (cr *countReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	cr.n += int64(n)
+	return n, err
+}
+
+// writeFrame sends one framed message and meters it.
+func (c *Coordinator) writeFrame(w io.Writer, t comm.MsgType, payload []byte) {
+	n, _ := comm.WriteFrame(w, t, payload)
+	c.wireOut.Add(int64(n))
+}
+
+// writeError sends a MsgError frame.
+func (c *Coordinator) writeError(w http.ResponseWriter, format string, args ...any) {
+	c.writeFrame(w, comm.MsgError, []byte(fmt.Sprintf(format, args...)))
+}
+
+// queryInt parses a required integer query parameter.
+func queryInt(r *http.Request, key string) (int64, error) {
+	v := r.URL.Query().Get(key)
+	if v == "" {
+		return 0, fmt.Errorf("coord: missing %q parameter", key)
+	}
+	n, err := strconv.ParseInt(v, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("coord: bad %q parameter: %v", key, err)
+	}
+	return n, nil
+}
+
+// sessionFromQuery resolves the token parameter to a live session.
+func (c *Coordinator) sessionFromQuery(r *http.Request) (*session, error) {
+	tok, err := queryInt(r, "token")
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	s := c.sessions[uint64(tok)]
+	c.mu.Unlock()
+	if s == nil {
+		return nil, fmt.Errorf("coord: unknown session token %d", tok)
+	}
+	return s, nil
+}
+
+func (c *Coordinator) handleJoin(w http.ResponseWriter, r *http.Request) {
+	cr := &countReader{r: r.Body}
+	defer func() { c.wireIn.Add(cr.n) }()
+	mt, payload, err := comm.ReadFrame(cr)
+	if err != nil || mt != comm.MsgJoin {
+		c.writeError(w, "coord: join expects a %v frame: %v", comm.MsgJoin, err)
+		return
+	}
+	j, err := comm.DecodeJoin(payload)
+	if err != nil {
+		c.writeError(w, "%v", err)
+		return
+	}
+	if j.UserLo < 0 || j.UserHi > c.split.NumUsers || j.UserLo >= j.UserHi {
+		c.writeError(w, "coord: join range [%d, %d) outside universe of %d users",
+			j.UserLo, j.UserHi, c.split.NumUsers)
+		return
+	}
+	c.mu.Lock()
+	for _, s := range c.sessions {
+		if j.UserLo < s.hi && s.lo < j.UserHi {
+			c.mu.Unlock()
+			c.writeError(w, "coord: join range [%d, %d) overlaps session %d hosting [%d, %d)",
+				j.UserLo, j.UserHi, s.token, s.lo, s.hi)
+			return
+		}
+	}
+	c.nextToken++
+	s := &session{token: c.nextToken, lo: j.UserLo, hi: j.UserHi, wake: make(chan struct{})}
+	if c.down {
+		s.events = append(s.events, comm.AppendFrame(nil, comm.MsgShutdown, nil))
+	}
+	c.sessions[s.token] = s
+	c.mu.Unlock()
+	c.writeFrame(w, comm.MsgJoinAck, comm.EncodeJoinAck(comm.JoinAck{
+		Token:      s.token,
+		NumUsers:   c.split.NumUsers,
+		NumItems:   c.split.NumItems,
+		DataSeed:   c.opts.DataSeed,
+		TestFrac:   c.opts.TestFrac,
+		Profile:    c.opts.Profile,
+		ConfigJSON: c.configJSON,
+	}))
+}
+
+func (c *Coordinator) handleLeave(w http.ResponseWriter, r *http.Request) {
+	s, err := c.sessionFromQuery(r)
+	if err != nil {
+		c.writeError(w, "%v", err)
+		return
+	}
+	c.mu.Lock()
+	delete(c.sessions, s.token)
+	// A departed host's pending users resolve as dropped so open rounds can
+	// close; their slots were pre-initialised that way.
+	for _, rs := range c.rounds {
+		if rs.closed {
+			continue
+		}
+		for u := range rs.unresolved {
+			if s.lo <= u && u < s.hi {
+				delete(rs.unresolved, u)
+				rs.pending--
+			}
+		}
+		if rs.pending == 0 {
+			rs.closed = true
+			close(rs.done)
+		}
+	}
+	c.mu.Unlock()
+	c.writeFrame(w, comm.MsgAck, nil)
+}
+
+func (c *Coordinator) handlePoll(w http.ResponseWriter, r *http.Request) {
+	s, err := c.sessionFromQuery(r)
+	if err != nil {
+		c.writeError(w, "%v", err)
+		return
+	}
+	after, err := queryInt(r, "after")
+	if err != nil {
+		c.writeError(w, "%v", err)
+		return
+	}
+	deadline := time.NewTimer(pollWait)
+	defer deadline.Stop()
+	for {
+		c.mu.Lock()
+		if int(after) > len(s.events) {
+			c.mu.Unlock()
+			c.writeError(w, "coord: poll cursor %d past event log (%d events)", after, len(s.events))
+			return
+		}
+		if int(after) < len(s.events) {
+			pendingEvents := make([][]byte, len(s.events)-int(after))
+			copy(pendingEvents, s.events[after:])
+			c.mu.Unlock()
+			for _, frame := range pendingEvents {
+				n, _ := w.Write(frame)
+				c.wireOut.Add(int64(n))
+			}
+			return
+		}
+		wake := s.wake
+		c.mu.Unlock()
+		select {
+		case <-wake:
+		case <-deadline.C:
+			// Heartbeat: the participant re-polls with the same cursor.
+			c.writeFrame(w, comm.MsgAck, nil)
+			return
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// handleUpload ingests one user's upload stream for an open round. The body
+// classifies the client exactly as a lossy transport would: empty body →
+// dropped; begin + at least one prediction but no end frame → truncated
+// responder (the decoded prefix counts); end frame → complete responder.
+func (c *Coordinator) handleUpload(w http.ResponseWriter, r *http.Request) {
+	s, err := c.sessionFromQuery(r)
+	if err != nil {
+		c.writeError(w, "%v", err)
+		return
+	}
+	round, err := queryInt(r, "round")
+	if err != nil {
+		c.writeError(w, "%v", err)
+		return
+	}
+	user, err := queryInt(r, "user")
+	if err != nil {
+		c.writeError(w, "%v", err)
+		return
+	}
+	if int(user) < s.lo || int(user) >= s.hi {
+		c.writeError(w, "coord: session %d does not host user %d", s.token, user)
+		return
+	}
+
+	cr := &countReader{r: r.Body}
+	outcome, perr := c.readUpload(cr, int(round), int(user))
+	c.wireIn.Add(cr.n)
+	if perr != nil {
+		// Malformed streams (bad magic, wrong frame order, codec garbage)
+		// are protocol errors, not transport faults: reject, and resolve the
+		// slot as dropped so the round never hangs on a broken peer.
+		c.resolveUpload(int(round), int(user), fed.ClientOutcome{ID: int(user), Dropped: true})
+		c.writeError(w, "%v", perr)
+		return
+	}
+	if !c.resolveUpload(int(round), int(user), outcome) {
+		c.writeError(w, "coord: round %d closed for user %d", round, user)
+		return
+	}
+	c.writeFrame(w, comm.MsgAck, comm.EncodeRound(int(round)))
+}
+
+// readUpload parses an upload body into the outcome the engine absorbs.
+// Transport cuts (clean EOF without MsgUploadEnd, or a frame severed
+// mid-payload) classify as drop/truncation; anything else is an error.
+func (c *Coordinator) readUpload(body io.Reader, round, user int) (fed.ClientOutcome, error) {
+	mt, payload, err := comm.ReadFrame(body)
+	if err == io.EOF {
+		return fed.ClientOutcome{ID: user, Dropped: true}, nil // connection drop
+	}
+	if err != nil && err != io.ErrUnexpectedEOF {
+		return fed.ClientOutcome{}, err
+	}
+	if err == io.ErrUnexpectedEOF {
+		return fed.ClientOutcome{ID: user, Dropped: true}, nil // cut inside the opening frame
+	}
+	if mt != comm.MsgUploadBegin {
+		return fed.ClientOutcome{}, fmt.Errorf("coord: upload stream opens with %v, want %v", mt, comm.MsgUploadBegin)
+	}
+	begin, err := comm.DecodeUploadBegin(payload)
+	if err != nil {
+		return fed.ClientOutcome{}, err
+	}
+	if begin.Round != round || begin.User != user {
+		return fed.ClientOutcome{}, fmt.Errorf("coord: upload-begin names round %d user %d, request says round %d user %d",
+			begin.Round, begin.User, round, user)
+	}
+
+	var preds []comm.Prediction
+	var predBytes int
+	complete := false
+	for !complete {
+		mt, payload, err = comm.ReadFrame(body)
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			break // transport cut after the opening frame
+		}
+		if err != nil {
+			return fed.ClientOutcome{}, err
+		}
+		switch mt {
+		case comm.MsgUploadChunk:
+			chunk, err := begin.Codec.Decode(payload)
+			if err != nil {
+				return fed.ClientOutcome{}, err
+			}
+			preds = append(preds, chunk...)
+			predBytes += len(payload)
+		case comm.MsgUploadEnd:
+			complete = true
+		default:
+			return fed.ClientOutcome{}, fmt.Errorf("coord: unexpected %v frame inside upload stream", mt)
+		}
+	}
+	if complete && len(preds) != begin.Count {
+		return fed.ClientOutcome{}, fmt.Errorf("coord: upload declared %d predictions, carried %d", begin.Count, len(preds))
+	}
+	if len(preds) == 0 {
+		// Begin frame but no predictions survived: nothing to train on —
+		// the client drops.
+		return fed.ClientOutcome{ID: user, Dropped: true}, nil
+	}
+	return fed.ClientOutcome{
+		ID:          user,
+		Upload:      preds,
+		UploadBytes: predBytes,
+		Loss:        begin.Loss,
+		AttackF1:    begin.AttackF1,
+	}, nil
+}
+
+// handleResult streams the session's dispersals for a closed round: one
+// MsgDisperse per hosted responder, then MsgRoundEnd. Blocks until the
+// round's result is published.
+func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
+	s, err := c.sessionFromQuery(r)
+	if err != nil {
+		c.writeError(w, "%v", err)
+		return
+	}
+	round, err := queryInt(r, "round")
+	if err != nil {
+		c.writeError(w, "%v", err)
+		return
+	}
+	c.mu.Lock()
+	rs := c.rounds[int(round)]
+	c.mu.Unlock()
+	if rs == nil {
+		c.writeError(w, "coord: round %d is not available (never opened, or pruned)", round)
+		return
+	}
+	select {
+	case <-rs.resultReady:
+	case <-r.Context().Done():
+		return
+	}
+	// dispersals is immutable once resultReady closes.
+	codec := comm.CodecFor(c.cfg.QuantizeScores)
+	for _, d := range rs.dispersals {
+		if d.ID < s.lo || d.ID >= s.hi {
+			continue
+		}
+		c.writeFrame(w, comm.MsgDisperse, comm.EncodeDisperse(comm.Disperse{
+			User:    d.ID,
+			Codec:   codec,
+			Payload: d.Payload,
+		}))
+	}
+	c.writeFrame(w, comm.MsgRoundEnd, comm.EncodeRound(int(round)))
+}

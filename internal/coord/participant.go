@@ -1,0 +1,309 @@
+package coord
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"ptffedrec/internal/comm"
+	"ptffedrec/internal/data"
+	"ptffedrec/internal/fed"
+	"ptffedrec/internal/par"
+)
+
+// uploadChunkPreds is the number of predictions carried per MsgUploadChunk
+// frame. A variable so tests can force multi-chunk uploads on tiny data.
+var uploadChunkPreds = 512
+
+// Participant runs the client side for a contiguous user range against a
+// coordinator, speaking only the wire protocol: it reconstructs the shared
+// world from the JoinAck (dataset profile + seed + config), runs each
+// announced round through fed.ClientHost, streams uploads, and delivers the
+// fetched dispersals. Under a FaultPlan the host's fault draws surface as
+// real transport behaviour: a dropped client posts an empty body, a
+// truncated one cuts its stream before the end frame.
+type Participant struct {
+	base   string
+	hc     *http.Client
+	token  uint64
+	lo, hi int
+	cfg    fed.Config
+	codec  comm.Codec
+	host   *fed.ClientHost
+}
+
+// Join registers with the coordinator at base (e.g. "http://host:port") as
+// the host of users [lo, hi) and rebuilds the shared world from the
+// acknowledgement. hc may be nil for http.DefaultClient.
+func Join(base string, lo, hi int, hc *http.Client) (*Participant, error) {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	base = strings.TrimRight(base, "/")
+	body := comm.AppendFrame(nil, comm.MsgJoin, comm.EncodeJoin(comm.Join{UserLo: lo, UserHi: hi}))
+	resp, err := hc.Post(base+"/v1/join", "application/octet-stream", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	mt, payload, err := comm.ReadFrame(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("coord: join reply: %w", err)
+	}
+	if mt == comm.MsgError {
+		return nil, fmt.Errorf("coord: join refused: %s", payload)
+	}
+	if mt != comm.MsgJoinAck {
+		return nil, fmt.Errorf("coord: join reply is %v, want %v", mt, comm.MsgJoinAck)
+	}
+	ack, err := comm.DecodeJoinAck(payload)
+	if err != nil {
+		return nil, err
+	}
+
+	var cfg fed.Config
+	if err := json.Unmarshal(ack.ConfigJSON, &cfg); err != nil {
+		return nil, fmt.Errorf("coord: join-ack config: %w", err)
+	}
+	// Hosting a slice of the universe, the participant materialises only the
+	// clients that actually participate; lazy construction is bitwise-neutral.
+	cfg.LazyClients = true
+	profile, err := data.ProfileByName(ack.Profile)
+	if err != nil {
+		return nil, err
+	}
+	// The same split recipe the coordinator used — both sides derive it
+	// purely from (profile, seed, frac), no dataset bytes cross the wire.
+	sp := data.StreamSplit(profile, ack.DataSeed, ack.TestFrac)
+	host, err := fed.NewClientHost(sp, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Participant{
+		base:  base,
+		hc:    hc,
+		token: ack.Token,
+		lo:    lo,
+		hi:    hi,
+		cfg:   cfg,
+		codec: comm.CodecFor(cfg.QuantizeScores),
+		host:  host,
+	}, nil
+}
+
+// Token returns the session token the coordinator assigned.
+func (p *Participant) Token() uint64 { return p.token }
+
+// Run processes announcements until shutdown: every RoundStart runs the
+// hosted slice of the cohort and fetches the round's dispersals.
+func (p *Participant) Run(ctx context.Context) error {
+	after := 0
+	for {
+		frames, err := p.poll(ctx, after)
+		if err != nil {
+			return err
+		}
+		for _, f := range frames {
+			switch f.mt {
+			case comm.MsgRoundStart:
+				rs, err := comm.DecodeRoundStart(f.payload)
+				if err != nil {
+					return err
+				}
+				if err := p.runRound(ctx, rs); err != nil {
+					return err
+				}
+				after++
+			case comm.MsgShutdown:
+				p.leave(ctx)
+				return nil
+			case comm.MsgAck:
+				// Heartbeat: re-poll with the same cursor.
+			case comm.MsgError:
+				return fmt.Errorf("coord: poll: %s", f.payload)
+			default:
+				return fmt.Errorf("coord: unexpected %v frame from poll", f.mt)
+			}
+		}
+	}
+}
+
+type frame struct {
+	mt      comm.MsgType
+	payload []byte
+}
+
+// poll long-polls the announcement channel past the cursor.
+func (p *Participant) poll(ctx context.Context, after int) ([]frame, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		fmt.Sprintf("%s/v1/poll?token=%d&after=%d", p.base, p.token, after), nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := p.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var frames []frame
+	for {
+		mt, payload, err := comm.ReadFrame(resp.Body)
+		if err == io.EOF {
+			return frames, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("coord: poll stream: %w", err)
+		}
+		frames = append(frames, frame{mt: mt, payload: payload})
+	}
+}
+
+// runRound executes the hosted slice of one announced round: parallel local
+// training + uploads on the configured worker pool, then the dispersal
+// fetch. Each worker touches only its own user's client, exactly like the
+// in-process trainer's round loop.
+func (p *Participant) runRound(ctx context.Context, rs comm.RoundStart) error {
+	workers := par.Workers(p.cfg.Workers)
+	errs := make([]error, len(rs.Users))
+	par.For(len(rs.Users), workers, func(i int) {
+		res := p.host.RunClientRound(rs.Round, rs.Users[i])
+		errs[i] = p.upload(ctx, rs.Round, res)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return p.fetchResult(ctx, rs.Round)
+}
+
+// upload posts one user's round result as a frame stream. A host-level
+// dropout becomes an empty body (connection drop); a truncation sends the
+// transmitted prefix and omits the end frame (short write).
+func (p *Participant) upload(ctx context.Context, round int, res fed.ClientRoundResult) error {
+	var body bytes.Buffer
+	if !res.Dropped {
+		if _, err := comm.WriteFrame(&body, comm.MsgUploadBegin, comm.EncodeUploadBegin(comm.UploadBegin{
+			Round:    round,
+			User:     res.ID,
+			Codec:    p.codec,
+			Count:    len(res.Preds),
+			Loss:     res.Loss,
+			AttackF1: res.AttackF1,
+		})); err != nil {
+			return err
+		}
+		payload := res.WirePayload()
+		chunkBytes := uploadChunkPreds * p.codec.WireSize()
+		for off := 0; off < len(payload); off += chunkBytes {
+			end := off + chunkBytes
+			if end > len(payload) {
+				end = len(payload)
+			}
+			if _, err := comm.WriteFrame(&body, comm.MsgUploadChunk, payload[off:end]); err != nil {
+				return err
+			}
+		}
+		if res.SendPreds == len(res.Preds) {
+			if _, err := comm.WriteFrame(&body, comm.MsgUploadEnd, nil); err != nil {
+				return err
+			}
+		}
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		fmt.Sprintf("%s/v1/upload?token=%d&round=%d&user=%d", p.base, p.token, round, res.ID),
+		bytes.NewReader(body.Bytes()))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := p.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	mt, payload, err := comm.ReadFrame(resp.Body)
+	if err != nil {
+		return fmt.Errorf("coord: upload reply: %w", err)
+	}
+	if mt == comm.MsgError {
+		if strings.Contains(string(payload), "closed") {
+			// Straggler: the round's deadline passed while this upload was in
+			// flight. The coordinator counted the client as dropped; the run
+			// continues.
+			return nil
+		}
+		return fmt.Errorf("coord: upload refused: %s", payload)
+	}
+	if mt != comm.MsgAck {
+		return fmt.Errorf("coord: upload reply is %v, want %v", mt, comm.MsgAck)
+	}
+	return nil
+}
+
+// fetchResult streams the round's dispersals and delivers them to the hosted
+// clients.
+func (p *Participant) fetchResult(ctx context.Context, round int) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		fmt.Sprintf("%s/v1/result?token=%d&round=%d", p.base, p.token, round), nil)
+	if err != nil {
+		return err
+	}
+	resp, err := p.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	for {
+		mt, payload, err := comm.ReadFrame(resp.Body)
+		if err != nil {
+			return fmt.Errorf("coord: result stream: %w", err)
+		}
+		switch mt {
+		case comm.MsgDisperse:
+			d, err := comm.DecodeDisperse(payload)
+			if err != nil {
+				return err
+			}
+			if d.User < p.lo || d.User >= p.hi {
+				return fmt.Errorf("coord: dispersal for user %d outside hosted range [%d, %d)", d.User, p.lo, p.hi)
+			}
+			preds, err := d.Codec.Decode(d.Payload)
+			if err != nil {
+				return err
+			}
+			p.host.Deliver(d.User, preds)
+		case comm.MsgRoundEnd:
+			got, err := comm.DecodeRound(payload)
+			if err != nil {
+				return err
+			}
+			if got != round {
+				return fmt.Errorf("coord: round-end names round %d, want %d", got, round)
+			}
+			return nil
+		case comm.MsgError:
+			return fmt.Errorf("coord: result refused: %s", payload)
+		default:
+			return fmt.Errorf("coord: unexpected %v frame in result stream", mt)
+		}
+	}
+}
+
+// leave deregisters the session; best-effort, errors are ignored (the
+// coordinator also tolerates vanished sessions).
+func (p *Participant) leave(ctx context.Context) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		fmt.Sprintf("%s/v1/leave?token=%d", p.base, p.token), nil)
+	if err != nil {
+		return
+	}
+	if resp, err := p.hc.Do(req); err == nil {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+}

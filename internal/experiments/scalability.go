@@ -1,13 +1,17 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
+	"net"
+	"net/http"
 	"runtime"
 	"time"
 
 	"ptffedrec/internal/comm"
+	"ptffedrec/internal/coord"
 	"ptffedrec/internal/data"
 	"ptffedrec/internal/eval"
 	"ptffedrec/internal/fed"
@@ -126,6 +130,18 @@ type ScalabilityResult struct {
 	OverlapSequentialSecs float64 `json:"overlap_sequential_secs"`
 	OverlapConcurrentSecs float64 `json:"overlap_concurrent_secs"`
 	OverlapSpeedup        float64 `json:"overlap_speedup"`
+
+	// Networked round engine over a loopback transport: the same training
+	// driven through coord.Coordinator plus two coord.Participants speaking
+	// the wire protocol over real HTTP on a loopback listener, at the sweep's
+	// max worker count. The round history must match the in-process rows bit
+	// for bit (folded into Deterministic). NetRoundSecs is mean wall-clock
+	// per networked round (the run's final evaluation pass, ~eval_secs, is
+	// amortised into it); NetWireBytes is total frame bytes crossing the
+	// transport both ways. Gated to small profiles — the loopback run issues
+	// one HTTP request per upload.
+	NetRoundSecs float64 `json:"net_round_secs,omitempty"`
+	NetWireBytes int64   `json:"net_wire_bytes,omitempty"`
 
 	// MemoryProfile marks the huge-profile mode (NumUsers ≥
 	// memoryProfileUsers): a streamed split, lazy clients, sampled
@@ -508,7 +524,83 @@ func RunScalability(o Options) (*ScalabilityResult, error) {
 			res.OverlapSpeedup = res.OverlapSequentialSecs / res.OverlapConcurrentSecs
 		}
 	}
+
+	// Networked round engine: the same training once more through the
+	// coordinator service and two participants over a loopback HTTP listener,
+	// at the sweep's max worker count. One HTTP request per upload makes this
+	// O(users) requests per round, so it is gated to small profiles; the
+	// history must still match the in-process rows bit for bit.
+	if sp.NumUsers <= netLoopbackMaxUsers {
+		counts := scalabilityWorkerCounts()
+		ncfg := cfg
+		ncfg.Workers = counts[len(counts)-1]
+		ncfg.EvalWorkers = ncfg.Workers
+		ncfg.TrainWorkers = ncfg.Workers
+		// The sweep rows time bare rounds; keep per-round evaluation out of
+		// the networked run too so the histories stay comparable.
+		ncfg.EvalEvery = 0
+		o.logf("scalability: networked loopback run (workers=%d)\n", ncfg.Workers)
+		netSecs, netBytes, netRounds, err := runLoopback(sp, ncfg, p, o.Seed, evaluator)
+		if err != nil {
+			return nil, fmt.Errorf("scalability: loopback: %w", err)
+		}
+		if !roundsEqual(refRounds, netRounds) {
+			res.Deterministic = false
+		}
+		res.NetRoundSecs = netSecs / float64(ncfg.Rounds)
+		res.NetWireBytes = netBytes
+	}
 	return res, nil
+}
+
+// netLoopbackMaxUsers bounds the profiles the networked loopback measurement
+// runs on: past it the O(users) HTTP requests per round would dominate the
+// sweep's wall-clock.
+const netLoopbackMaxUsers = 10_000
+
+// runLoopback drives one full training run through the networked coordinator
+// on a loopback listener with two participants splitting the user universe,
+// returning the run's wall-clock seconds, total wire bytes (both directions),
+// and the round history for the bitwise cross-check.
+func runLoopback(sp *data.Split, cfg fed.Config, p data.Profile, seed uint64, evaluator *eval.Evaluator) (float64, int64, []fed.RoundStats, error) {
+	c, err := coord.New(sp, cfg, coord.Options{Profile: p.Name, DataSeed: seed, TestFrac: 0.2})
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	c.ShareEvaluator(evaluator)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	srv := &http.Server{Handler: c.Handler()}
+	go srv.Serve(ln)
+	defer srv.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Minute)
+	defer cancel()
+	base := "http://" + ln.Addr().String()
+	half := sp.NumUsers / 2
+	errCh := make(chan error, 2)
+	for _, r := range [][2]int{{0, half}, {half, sp.NumUsers}} {
+		pt, err := coord.Join(base, r[0], r[1], nil)
+		if err != nil {
+			return 0, 0, nil, err
+		}
+		go func() { errCh <- pt.Run(ctx) }()
+	}
+	start := time.Now()
+	h, err := c.Run(ctx)
+	secs := time.Since(start).Seconds()
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	for i := 0; i < 2; i++ {
+		if perr := <-errCh; perr != nil {
+			return 0, 0, nil, perr
+		}
+	}
+	in, out := c.WireBytes()
+	return secs, in + out, h.Rounds, nil
 }
 
 // runScalabilityMemory is the huge-profile arm of the scalability experiment:
@@ -747,6 +839,10 @@ func (r *ScalabilityResult) Print(w io.Writer) {
 	}
 	fmt.Fprintf(w, "  eval+dispersal tail: sequential %.3fs, overlapped %.3fs (%.2fx)\n",
 		r.OverlapSequentialSecs, r.OverlapConcurrentSecs, r.OverlapSpeedup)
+	if r.NetRoundSecs > 0 {
+		fmt.Fprintf(w, "  networked loopback: %.3f s/round, %s on the wire\n",
+			r.NetRoundSecs, comm.FormatBytes(float64(r.NetWireBytes)))
+	}
 	fmt.Fprintf(w, "  metrics identical across worker counts and scoring paths: %v (recall@20=%.4f ndcg@20=%.4f)\n",
 		r.Deterministic, r.Rows[0].Recall, r.Rows[0].NDCG)
 }

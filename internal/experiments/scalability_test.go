@@ -62,6 +62,12 @@ func TestRunScalability(t *testing.T) {
 	if res.OverlapSequentialSecs <= 0 || res.OverlapConcurrentSecs <= 0 || res.OverlapSpeedup <= 0 {
 		t.Fatalf("missing eval+dispersal overlap measurement: %+v", res)
 	}
+	// The networked loopback measurement runs on small profiles and must both
+	// land its columns and keep Deterministic true (the history it produces
+	// over the wire is cross-checked against the in-process rows above).
+	if res.NetRoundSecs <= 0 || res.NetWireBytes <= 0 {
+		t.Fatalf("missing networked loopback measurement: %+v", res)
+	}
 
 	var buf bytes.Buffer
 	res.Print(&buf)

@@ -1,0 +1,83 @@
+package fed
+
+import (
+	"fmt"
+	"testing"
+
+	"ptffedrec/internal/comm"
+	"ptffedrec/internal/graph"
+	"ptffedrec/internal/models"
+	"ptffedrec/internal/rng"
+)
+
+// TestAbsorbFusedMatchesTwoPass cross-checks the absorb-fused edge selection
+// against the reference two-pass path it replaces on the hot loop: after
+// every absorb the fused (users, offsets, slab) triple must equal
+// collectEdgesFor over the store's dirty set exactly, the subsequent
+// incremental rebuild must consume it, and the resulting CSR must match a
+// from-scratch build. Both edge rules (score threshold and top-fraction) and
+// both the serial and parallel fused paths are exercised.
+func TestAbsorbFusedMatchesTwoPass(t *testing.T) {
+	const numUsers, numItems = 80, 60
+	for _, tc := range []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"threshold", func(c *Config) { c.GraphThreshold = 0.4 }},
+		{"topfrac", func(c *Config) { c.GraphTopFrac = 0.3 }},
+	} {
+		for _, workers := range []int{1, 4} {
+			t.Run(fmt.Sprintf("%s/workers=%d", tc.name, workers), func(t *testing.T) {
+				sv := storeTestServer(t, numUsers, numItems, func(c *Config) {
+					c.ServerModel = models.KindLightGCN
+					tc.mutate(c)
+				})
+				s := rng.New(23).Derive("absorb-fuse")
+				for r := 0; r < 6; r++ {
+					n := 1 + s.Intn(numUsers)
+					uploads := make([][]comm.Prediction, 0, n)
+					for _, u := range s.SampleInts(numUsers, n) {
+						uploads = append(uploads, makeUpload(u, 1+s.Intn(14), numItems, s))
+					}
+					sv.absorb(uploads, workers)
+					if !sv.fusedValid {
+						t.Fatalf("round %d: absorb did not fuse the edge selection", r)
+					}
+
+					dirty := sv.store.DirtyUsers(nil)
+					if !intsEqual(dirty, sv.fusedUsers) {
+						t.Fatalf("round %d: fused users %v != dirty set %v", r, sv.fusedUsers, dirty)
+					}
+					// Snapshot before the reference pass: collectEdgesFor uses
+					// its own scratch, but the comparison must not depend on
+					// that staying true.
+					fusedOff := append([]int(nil), sv.fusedOff...)
+					fusedSlab := append([]graph.Edge(nil), sv.fusedSlab...)
+					off, slab := sv.collectEdgesFor(dirty, workers)
+					if len(fusedOff) != len(off) {
+						t.Fatalf("round %d: fused offsets len %d != two-pass %d", r, len(fusedOff), len(off))
+					}
+					for i := range off {
+						if fusedOff[i] != off[i] {
+							t.Fatalf("round %d: offset[%d] fused %d != two-pass %d", r, i, fusedOff[i], off[i])
+						}
+					}
+					if len(fusedSlab) != len(slab) {
+						t.Fatalf("round %d: fused slab len %d != two-pass %d", r, len(fusedSlab), len(slab))
+					}
+					for i := range slab {
+						if fusedSlab[i] != slab[i] {
+							t.Fatalf("round %d: edge[%d] fused %+v != two-pass %+v", r, i, fusedSlab[i], slab[i])
+						}
+					}
+
+					sv.rebuildGraph(workers)
+					if sv.fusedValid {
+						t.Fatalf("round %d: rebuild did not consume the fused selection", r)
+					}
+					checkIncMatchesFull(t, fmt.Sprintf("round %d", r), sv, workers)
+				}
+			})
+		}
+	}
+}

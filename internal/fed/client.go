@@ -28,17 +28,13 @@ type Client struct {
 	// serverData is D̃ᵢ: (item, soft score) pairs from the last dispersal.
 	serverData []comm.Prediction
 
-	// lastUpload remembers the most recent D̂ᵗᵢ item set so the server-side
-	// dispersal can honour the "vⱼ ∉ V̂ᵗᵢ" constraint of Eq. 9. It is a
-	// bitset over the item universe, allocated on the client's first upload
-	// and reset-and-refilled every round.
+	// lastUpload remembers the most recent D̂ᵗᵢ item set — the client's own
+	// record of what it sent (tests and the privacy invariants read it). The
+	// server-side dispersal honours Eq. 9's "vⱼ ∉ V̂ᵗᵢ" constraint from its
+	// upload store, i.e. from what it actually received. It is a bitset over
+	// the item universe, allocated on the client's first upload and
+	// reset-and-refilled every round.
 	lastUpload *bitset.Set
-
-	// uploadGen counts lastUpload refills. The dispersal engine's eligibility
-	// cache keys its per-client invalidation on it: a cached eligible set is
-	// served as long as the generation it was built from is still current,
-	// and rebuilt from the bitset otherwise.
-	uploadGen uint64
 }
 
 // newClient builds the client's local model. Graph client models (Table VIII)
@@ -175,7 +171,6 @@ func (c *Client) buildUpload(negatives []int) []comm.Prediction {
 	for _, p := range preds {
 		c.lastUpload.Add(p.Item)
 	}
-	c.uploadGen++
 	return preds
 }
 

@@ -1,0 +1,194 @@
+package fed
+
+import (
+	"ptffedrec/internal/comm"
+	"ptffedrec/internal/data"
+	"ptffedrec/internal/privacy"
+	"ptffedrec/internal/rng"
+)
+
+// ClientHost runs the client side of the protocol for a set of users: local
+// training, wire encoding, the client-side fault draws, and dispersal
+// delivery. It is the transport-agnostic half the in-process Trainer and the
+// networked Participant share — both drive the exact same per-(round, user)
+// computation, so the networked path reproduces the in-process history
+// bitwise. Everything a host owns derives purely from (config, split), which
+// is what lets a remote participant reconstruct its clients from nothing but
+// the coordinator's join acknowledgement.
+//
+// Concurrency: calls for distinct users touch distinct clients, so a worker
+// pool may run RunClientRound/Deliver for different users concurrently. Two
+// calls for the same user must not overlap (the round engines never do that).
+type ClientHost struct {
+	cfg     Config
+	split   *data.Split
+	root    *rng.Stream
+	clients []*Client
+}
+
+// NewClientHost wires up the client-side state for every user in the split.
+// Under Config.LazyClients, clients materialise on first participation.
+func NewClientHost(sp *data.Split, cfg Config) (*ClientHost, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	h := &ClientHost{
+		cfg:     cfg,
+		split:   sp,
+		root:    rng.New(cfg.Seed).Derive("ptf-fedrec"),
+		clients: make([]*Client, sp.NumUsers),
+	}
+	if cfg.LazyClients {
+		// Build one eagerly so an invalid client-model kind still fails at
+		// construction time instead of mid-round.
+		if sp.NumUsers > 0 {
+			c, err := newClient(0, sp.Train[0], sp.NumItems, &h.cfg, h.root)
+			if err != nil {
+				return nil, err
+			}
+			h.clients[0] = c
+		}
+		return h, nil
+	}
+	for u := 0; u < sp.NumUsers; u++ {
+		c, err := newClient(u, sp.Train[u], sp.NumItems, &h.cfg, h.root)
+		if err != nil {
+			return nil, err
+		}
+		h.clients[u] = c
+	}
+	return h, nil
+}
+
+// Client returns the host's client for user id, constructing it on first use
+// under Config.LazyClients. Lazy construction is bitwise-safe because
+// everything a client owns derives purely from (config, split, id).
+// Concurrent calls for distinct ids write distinct slots and the round/eval
+// engines never hand one id to two workers, so no synchronisation is needed.
+func (h *ClientHost) Client(id int) *Client {
+	c := h.clients[id]
+	if c == nil {
+		var err error
+		c, err = newClient(id, h.split.Train[id], h.split.NumItems, &h.cfg, h.root)
+		if err != nil {
+			// Construction can only fail on an invalid model kind, which the
+			// eager client 0 already validated.
+			panic(err)
+		}
+		h.clients[id] = c
+	}
+	return c
+}
+
+// Split returns the host's dataset split.
+func (h *ClientHost) Split() *data.Split { return h.split }
+
+// Config returns the host's configuration.
+func (h *ClientHost) Config() Config { return h.cfg }
+
+// ClientRoundResult is one user's full client-side round output, before any
+// transport decides how much of it reaches the server. Preds is the
+// wire-decoded upload (what a faithful receiver reconstructs from Payload);
+// SendPreds/SendBytes bound the prefix that actually goes out — less than the
+// whole upload only under FaultPlan truncation. Loss and AttackF1 are
+// computed on the full upload, mirroring the in-process engine (a truncated
+// client trained and self-scored before its connection died).
+type ClientRoundResult struct {
+	ID        int
+	Dropped   bool
+	Payload   []byte            // canonical wire encoding of the full upload
+	Preds     []comm.Prediction // Payload decoded through the codec
+	SendPreds int               // predictions actually transmitted (≤ len(Preds))
+	SendBytes int               // bytes actually transmitted (= SendPreds × stride)
+	Loss      float64
+	AttackF1  float64
+}
+
+// Outcome folds the result into what the server observes: a dropped client
+// contributes nothing, a truncated one only its transmitted prefix. Decoding
+// a payload prefix equals the prefix of the decoded payload (the codecs are
+// element-wise), so this is exactly what a receiver of WirePayload sees.
+func (r ClientRoundResult) Outcome() ClientOutcome {
+	if r.Dropped {
+		return ClientOutcome{ID: r.ID, Dropped: true}
+	}
+	return ClientOutcome{
+		ID:          r.ID,
+		Upload:      r.Preds[:r.SendPreds],
+		UploadBytes: r.SendBytes,
+		Loss:        r.Loss,
+		AttackF1:    r.AttackF1,
+	}
+}
+
+// WirePayload returns the bytes that actually cross the transport — the
+// canonical encoding truncated to the transmitted prefix.
+func (r ClientRoundResult) WirePayload() []byte { return r.Payload[:r.SendBytes] }
+
+// RunClientRound executes user id's side of one round: the fault dropout
+// draw, local training (negatives drawn from the split by the shared
+// recipe), wire encoding, the attack self-score, and the truncation draw.
+// The rng consumption order is the determinism contract: dropout before
+// training, truncation after the attack — identical to the historical
+// in-process round loop.
+func (h *ClientHost) RunClientRound(round, id int) ClientRoundResult {
+	c := h.Client(id)
+	var fs *rng.Stream
+	if h.cfg.Faults.enabled() {
+		fs = h.root.DeriveN("fault", round).DeriveN("client", id)
+		if fs.Bernoulli(h.cfg.Faults.DropoutRate) {
+			// A dropped client burns its local compute but nothing reaches
+			// the server.
+			return ClientRoundResult{ID: id, Dropped: true}
+		}
+	}
+	upload, loss := c.localTrain(func(n int) []int {
+		return h.split.SampleNegativesN(c.s.DeriveN("negs", round), c.ID, n)
+	})
+	payload, preds := wireRoundTrip(upload, h.cfg.QuantizeScores)
+	// The curious-but-honest server's inference attempt, scored against
+	// ground truth for Table V / Fig. 3 — on the wire-decoded upload, since
+	// that is what the server sees.
+	guessed := privacy.TopGuessAttack(preds, h.cfg.AttackPosFraction)
+	f1 := privacy.AttackF1(preds, guessed, c.isPositive)
+	send := len(preds)
+	if fs != nil && fs.Bernoulli(h.cfg.Faults.TruncateRate) && len(preds) > 1 {
+		// Short write: the connection dies mid-upload and the server keeps
+		// the received prefix.
+		send = len(preds) / 2
+	}
+	return ClientRoundResult{
+		ID:        id,
+		Payload:   payload,
+		Preds:     preds,
+		SendPreds: send,
+		SendBytes: send * comm.CodecFor(h.cfg.QuantizeScores).WireSize(),
+		Loss:      loss,
+		AttackF1:  f1,
+	}
+}
+
+// Deliver hands user id the server's dispersed D̃ᵢ (already wire-decoded).
+func (h *ClientHost) Deliver(id int, preds []comm.Prediction) {
+	h.Client(id).receiveDispersal(preds)
+}
+
+// wireRoundTrip runs predictions through the configured wire codec both
+// ways, returning the canonical payload and what a receiver decodes from it.
+// Training proceeds on the decoded values on both sides of the wire: the
+// in-process engine and the networked path therefore see identical floats
+// (under the plain codec that is the float32 round trip; under quantization
+// the round trip is lossy by design). Encoding a decoded payload reproduces
+// it byte for byte — the codec idempotence the fuzz suite pins — so the
+// coordinator can forward canonical payloads without re-encoding drift.
+func wireRoundTrip(preds []comm.Prediction, quantize bool) ([]byte, []comm.Prediction) {
+	codec := comm.CodecFor(quantize)
+	payload := codec.Encode(preds)
+	decoded, err := codec.Decode(payload)
+	if err != nil {
+		// Encoding our own payload cannot fail to decode; a failure here is
+		// a bug in the codec.
+		panic(err)
+	}
+	return payload, decoded
+}

@@ -43,11 +43,11 @@ const disperseBatchClients = 16
 var disperseScoreChunk = 1024
 
 // eligCache is the dispersal engine's shared eligibility cache: int32-packed
-// ascending eligible lists — the complement of each client's lastUpload
-// bitset — served while the client's upload generation is unchanged and
-// rebuilt with a word walk (64 memberships per load, no per-item probes) on
-// a miss. Same-client stale rebuilds reuse the entry's backing array, so
-// steady-state rounds allocate nothing here.
+// ascending eligible lists — the complement of each user's stored-upload
+// exclusion bitset — served while the user's upload generation (the server's
+// absorb counter) is unchanged and rebuilt with a word walk (64 memberships
+// per load, no per-item probes) on a miss. Same-user stale rebuilds reuse the
+// entry's backing array, so steady-state rounds allocate nothing here.
 //
 // The cache is a bounded LRU: at most budget entries are resident, so
 // dispersal memory stops scaling with users × items — a huge-user run holds
@@ -100,21 +100,23 @@ func newEligCache(budget int) *eligCache {
 	}
 }
 
-// eligible returns client c's current eligible set. The returned slice
-// aliases the cache; callers must not retain it across the client's next
-// upload (nor across the round — an evicted-then-readmitted client gets a
-// fresh backing array, but a same-client generation bump reuses the old one).
-func (e *eligCache) eligible(c *Client, numItems int) []int32 {
+// eligible returns the target's current eligible set. The returned slice
+// aliases the cache; callers must not retain it across the user's next
+// absorbed upload (nor across the round — an evicted-then-readmitted user
+// gets a fresh backing array, but a same-user generation bump reuses the old
+// one). The target's exclusion bitset is only read during the call, so
+// callers may reuse its backing for the next target.
+func (e *eligCache) eligible(tgt disperseTarget, numItems int) []int32 {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if si, ok := e.byUser[c.ID]; ok {
+	if si, ok := e.byUser[tgt.id]; ok {
 		s := &e.slots[si]
-		if s.gen != c.uploadGen {
-			// Stale: the client uploaded since this list was built, so any
+		if s.gen != tgt.gen {
+			// Stale: the user uploaded since this list was built, so any
 			// alias from before that upload is already dead by contract and
 			// the backing array is free to reuse.
-			s.list = e.buildList(s.list[:0], c, numItems)
-			s.gen = c.uploadGen
+			s.list = e.buildList(s.list[:0], tgt.excl, numItems)
+			s.gen = tgt.gen
 		}
 		e.moveToFront(si)
 		return s.list
@@ -133,20 +135,20 @@ func (e *eligCache) eligible(c *Client, numItems int) []int32 {
 		victim.list = nil
 	}
 	s := &e.slots[si]
-	s.user, s.gen = c.ID, c.uploadGen
-	s.list = e.buildList(s.list[:0], c, numItems)
-	e.byUser[c.ID] = si
+	s.user, s.gen = tgt.id, tgt.gen
+	s.list = e.buildList(s.list[:0], tgt.excl, numItems)
+	e.byUser[tgt.id] = si
 	e.pushFront(si)
 	return s.list
 }
 
-// buildList writes client c's eligible set into dst: the full item range for
-// a client that never uploaded, the bitset-complement word walk otherwise.
-func (e *eligCache) buildList(dst []int32, c *Client, numItems int) []int32 {
-	if c.lastUpload == nil {
+// buildList writes the eligible set into dst: the full item range for a user
+// with no stored upload, the bitset-complement word walk otherwise.
+func (e *eligCache) buildList(dst []int32, excl *bitset.Set, numItems int) []int32 {
+	if excl == nil {
 		return candset.AppendRange(dst, numItems)
 	}
-	return candset.AppendComplement(dst, c.lastUpload, numItems)
+	return candset.AppendComplement(dst, excl, numItems)
 }
 
 // unlink removes slot si from the recency list.
@@ -316,12 +318,12 @@ func confWalkItems(items []int, confRank []int, excluded func(int) bool, n int) 
 	return items
 }
 
-// disperseSlot carries one client through a score batch.
+// disperseSlot carries one dispersal target through a score batch.
 type disperseSlot struct {
-	c         *Client
+	tgt       disperseTarget
 	ds        *rng.Stream
 	elig      []int32 // cache-served eligible set (random arms only)
-	eligCount int     // |eligible| = numItems − |lastUpload|
+	eligCount int     // |eligible| = numItems − |exclusion set|
 	items     []int   // chosen D̃ᵢ items, conf half then hard half
 	preds     []comm.Prediction
 	skip      bool // eligible set empty: D̃ᵢ is nil
@@ -330,8 +332,11 @@ type disperseSlot struct {
 // disperseBatchScratch is one worker's reusable state for the batched
 // dispersal path: the chunk score matrix backing, the per-slot selectors,
 // and the assembly buffers. Nothing here is allocated per batch once warm.
+// excls holds one reusable exclusion bitset per slot for callers that build
+// targets from the upload store (disperseTargetInto fills and returns them).
 type disperseBatchScratch struct {
 	slots     []disperseSlot
+	excls     [disperseBatchClients]*bitset.Set
 	scores    []float64 // batch×chunk (and batch×union) score backing
 	users     []int     // active user ids for one scoring call
 	rows      []int     // active slot index per score-matrix row
@@ -394,7 +399,7 @@ func (sv *Server) disperseBatch(mbs models.MultiBlockScorer, slots []disperseSlo
 		s.preds = nil
 		s.skip = false
 		if needEligList {
-			s.elig = sv.elig.eligible(s.c, sv.numItems)
+			s.elig = sv.elig.eligible(s.tgt, sv.numItems)
 			s.eligCount = len(s.elig)
 			if s.eligCount == 0 {
 				s.skip = true
@@ -402,8 +407,8 @@ func (sv *Server) disperseBatch(mbs models.MultiBlockScorer, slots []disperseSlo
 			}
 		} else if needEligCount {
 			s.eligCount = sv.numItems
-			if s.c.lastUpload != nil {
-				s.eligCount -= s.c.lastUpload.Count()
+			if s.tgt.excl != nil {
+				s.eligCount -= s.tgt.excl.Count()
 			}
 			if s.eligCount == 0 {
 				s.skip = true
@@ -421,9 +426,9 @@ func (sv *Server) disperseBatch(mbs models.MultiBlockScorer, slots []disperseSlo
 				s.items, unfilled = pickItems(s.items, rng.SampleSlice(s.ds, sc.widened, k), nConf)
 				s.items = fillItems(s.items, sc.widened, unfilled)
 			} else {
-				c := s.c
+				excl := s.tgt.excl
 				s.items = confWalkItems(s.items, plan.confRank, func(v int) bool {
-					return c.lastUpload != nil && c.lastUpload.Contains(v)
+					return excl != nil && excl.Contains(v)
 				}, nConf)
 			}
 		}
@@ -469,7 +474,7 @@ func (sv *Server) disperseBatch(mbs models.MultiBlockScorer, slots []disperseSlo
 				kSel = s.eligCount
 			}
 			sc.sels[len(rows)].Reset(kSel)
-			active = append(active, s.c.ID)
+			active = append(active, s.tgt.id)
 			rows = append(rows, si)
 		}
 		sc.users, sc.rows = active, rows
@@ -482,7 +487,7 @@ func (sv *Server) disperseBatch(mbs models.MultiBlockScorer, slots []disperseSlo
 				m := sc.scoreMat(len(rows), hi-lo)
 				mbs.ScoreUsersBlockLogitsInto(m, active, sv.ident[lo:hi])
 				for row, si := range rows {
-					pushEligibleWindow(&sc.sels[row], slots[si].c.lastUpload, m.Row(row), lo, hi)
+					pushEligibleWindow(&sc.sels[row], slots[si].tgt.excl, m.Row(row), lo, hi)
 				}
 			}
 			for row, si := range rows {
@@ -508,7 +513,7 @@ func (sv *Server) disperseBatch(mbs models.MultiBlockScorer, slots []disperseSlo
 		}
 		s.preds = make([]comm.Prediction, len(s.items))
 		for _, v := range s.items {
-			pairUsers = append(pairUsers, s.c.ID)
+			pairUsers = append(pairUsers, s.tgt.id)
 			pairItems = append(pairItems, v)
 		}
 	}
@@ -528,7 +533,7 @@ func (sv *Server) disperseBatch(mbs models.MultiBlockScorer, slots []disperseSlo
 			continue
 		}
 		for j, v := range s.items {
-			s.preds[j] = comm.Prediction{User: s.c.ID, Item: v, Score: scores[off+j]}
+			s.preds[j] = comm.Prediction{User: s.tgt.id, Item: v, Score: scores[off+j]}
 		}
 		off += len(s.items)
 	}

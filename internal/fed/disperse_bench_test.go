@@ -46,8 +46,10 @@ func BenchmarkDisperse(b *testing.B) {
 		for n := 0; n < b.N; n++ {
 			// conf+hard consumes no randomness, so the trainer passes no
 			// stream; the benchmark mirrors that.
-			for _, c := range tr.clients {
-				tr.server.disperse(c, nil, plan, scratch)
+			for u := 0; u < tr.split.NumUsers; u++ {
+				var tgt disperseTarget
+				tgt, scratch.excl = tr.server.disperseTargetInto(u, scratch.excl)
+				tr.server.disperse(tgt, nil, plan, scratch)
 			}
 		}
 	})
@@ -56,16 +58,17 @@ func BenchmarkDisperse(b *testing.B) {
 		plan := tr.server.buildDispersalPlan()
 		mbs := tr.server.model.(models.MultiBlockScorer)
 		sc := newDisperseBatchScratch()
+		numUsers := tr.split.NumUsers
 		b.ResetTimer()
 		for n := 0; n < b.N; n++ {
-			for lo := 0; lo < len(tr.clients); lo += disperseBatchClients {
+			for lo := 0; lo < numUsers; lo += disperseBatchClients {
 				hi := lo + disperseBatchClients
-				if hi > len(tr.clients) {
-					hi = len(tr.clients)
+				if hi > numUsers {
+					hi = numUsers
 				}
 				slots := sc.slots[:hi-lo]
 				for i := lo; i < hi; i++ {
-					slots[i-lo].c = tr.clients[i]
+					slots[i-lo].tgt, sc.excls[i-lo] = tr.server.disperseTargetInto(i, sc.excls[i-lo])
 					slots[i-lo].ds = nil
 				}
 				tr.server.disperseBatch(mbs, slots, plan, sc)

@@ -10,24 +10,26 @@ import (
 	"ptffedrec/internal/rng"
 )
 
-// disperseForEligible crafts a client whose upload excludes all but
-// wantEligible items and returns one dispersal for it.
+// disperseForEligible crafts a dispersal target whose exclusion set rules
+// out all but wantEligible items and returns one dispersal for it. The
+// generation is made unique per (wantEligible, seed) so the eligibility
+// cache never serves a list built for a different exclusion set.
 func disperseForEligible(t *testing.T, tr *Trainer, wantEligible int, seed uint64) ([]comm.Prediction, []int) {
 	t.Helper()
 	sp := tr.split
-	c := tr.Clients()[0]
-	c.lastUpload = bitset.New(sp.NumItems)
+	excl := bitset.New(sp.NumItems)
 	for v := 0; v < sp.NumItems-wantEligible; v++ {
-		c.lastUpload.Add(v)
+		excl.Add(v)
 	}
 	eligible := make([]int, 0, wantEligible)
 	for v := sp.NumItems - wantEligible; v < sp.NumItems; v++ {
 		eligible = append(eligible, v)
 	}
+	tgt := disperseTarget{id: 0, excl: excl, gen: uint64(wantEligible)<<32 | seed}
 	plan := tr.Server().buildDispersalPlan()
 	scratch := &disperseScratch{}
 	ds := rng.New(seed).Derive("disperse-test")
-	return tr.Server().disperse(c, ds, plan, scratch), eligible
+	return tr.Server().disperse(tgt, ds, plan, scratch), eligible
 }
 
 // TestDisperseRandomArmsFillAlpha is the regression test for the random
@@ -109,11 +111,12 @@ func TestDisperseFusedMatchesScalar(t *testing.T) {
 		scalarPlan := scalar.Server().buildDispersalPlan()
 		fs, ss := &disperseScratch{}, &disperseScratch{}
 		for _, ci := range []int{0, 3, 7} {
-			fc, sc := fused.Clients()[ci], scalar.Clients()[ci]
+			ft, _ := fused.Server().disperseTargetInto(ci, nil)
+			st, _ := scalar.Server().disperseTargetInto(ci, nil)
 			ds1 := rng.New(99).DeriveN("client", ci)
 			ds2 := rng.New(99).DeriveN("client", ci)
-			a := fused.Server().disperse(fc, ds1, fusedPlan, fs)
-			b := scalar.Server().disperse(sc, ds2, scalarPlan, ss)
+			a := fused.Server().disperse(ft, ds1, fusedPlan, fs)
+			b := scalar.Server().disperse(st, ds2, scalarPlan, ss)
 			if !reflect.DeepEqual(a, b) {
 				t.Fatalf("%s client %d: fused dispersal %v != scalar %v", kind, ci, a, b)
 			}

@@ -6,25 +6,26 @@ import (
 	"ptffedrec/internal/bitset"
 )
 
-// eligTestClient builds a minimal client for cache tests: only the fields
-// the eligibility cache reads (id, upload bitset, generation).
-func eligTestClient(id, numItems int, uploaded ...int) *Client {
-	c := &Client{ID: id, numItems: numItems}
+// eligTestTarget builds a minimal dispersal target for cache tests: only the
+// fields the eligibility cache reads (id, exclusion bitset, generation).
+// Tests mutate excl/gen directly to simulate a new upload landing.
+func eligTestTarget(id, numItems int, uploaded ...int) *disperseTarget {
+	tgt := &disperseTarget{id: id}
 	if len(uploaded) > 0 {
-		c.lastUpload = bitset.New(numItems)
+		tgt.excl = bitset.New(numItems)
 		for _, v := range uploaded {
-			c.lastUpload.Add(v)
+			tgt.excl.Add(v)
 		}
-		c.uploadGen = 1
+		tgt.gen = 1
 	}
-	return c
+	return tgt
 }
 
 // requireEligMatchesNaive checks a cache-served list against the naive probe
-// walk over the client's bitset.
-func requireEligMatchesNaive(t *testing.T, label string, got []int32, c *Client, numItems int) {
+// walk over the target's exclusion bitset.
+func requireEligMatchesNaive(t *testing.T, label string, got []int32, tgt *disperseTarget, numItems int) {
 	t.Helper()
-	want := naiveEligible(nil, numItems, c.lastUpload)
+	want := naiveEligible(nil, numItems, tgt.excl)
 	if len(got) != len(want) {
 		t.Fatalf("%s: len %d, want %d", label, len(got), len(want))
 	}
@@ -42,13 +43,13 @@ func requireEligMatchesNaive(t *testing.T, label string, got []int32, c *Client,
 func TestEligLRUEvictionRegeneration(t *testing.T) {
 	const numItems = 70
 	e := newEligCache(4)
-	clients := make([]*Client, 10)
+	targets := make([]*disperseTarget, 10)
 	first := make([][]int32, 10)
-	for i := range clients {
+	for i := range targets {
 		// Distinct exclusion patterns, straddling the 64-bit word boundary.
-		clients[i] = eligTestClient(i, numItems, i, (i*7+3)%numItems, 64+i%6)
-		got := e.eligible(clients[i], numItems)
-		requireEligMatchesNaive(t, "first build", got, clients[i], numItems)
+		targets[i] = eligTestTarget(i, numItems, i, (i*7+3)%numItems, 64+i%6)
+		got := e.eligible(*targets[i], numItems)
+		requireEligMatchesNaive(t, "first build", got, targets[i], numItems)
 		first[i] = append([]int32(nil), got...)
 	}
 	if n := e.entries(); n != 4 {
@@ -57,8 +58,8 @@ func TestEligLRUEvictionRegeneration(t *testing.T) {
 	// Clients 0..5 were evicted (budget 4, LRU order): regeneration must
 	// reproduce the original lists exactly.
 	for i := 0; i < 6; i++ {
-		got := e.eligible(clients[i], numItems)
-		requireEligMatchesNaive(t, "regenerated", got, clients[i], numItems)
+		got := e.eligible(*targets[i], numItems)
+		requireEligMatchesNaive(t, "regenerated", got, targets[i], numItems)
 		for j := range got {
 			if got[j] != first[i][j] {
 				t.Fatalf("client %d: regenerated list diverges at %d: %d vs %d",
@@ -80,13 +81,13 @@ func TestEligLRUEvictionRegeneration(t *testing.T) {
 func TestEligLRUGenerationRebuild(t *testing.T) {
 	const numItems = 70
 	e := newEligCache(4)
-	c := eligTestClient(0, numItems, 5, 66)
-	old := e.eligible(c, numItems)
+	c := eligTestTarget(0, numItems, 5, 66)
+	old := e.eligible(*c, numItems)
 	requireEligMatchesNaive(t, "before bump", old, c, numItems)
 
-	c.lastUpload.Add(12)
-	c.uploadGen++
-	got := e.eligible(c, numItems)
+	c.excl.Add(12)
+	c.gen++
+	got := e.eligible(*c, numItems)
 	requireEligMatchesNaive(t, "after bump", got, c, numItems)
 	if len(got) == 0 || len(old) == 0 || &got[0] != &old[0] {
 		t.Fatal("generation rebuild did not reuse the stale entry's backing array")
@@ -102,11 +103,11 @@ func TestEligLRUGenerationRebuild(t *testing.T) {
 func TestEligLRUEvictionFreshBacking(t *testing.T) {
 	const numItems = 70
 	e := newEligCache(1)
-	a := eligTestClient(0, numItems, 3)
-	b := eligTestClient(1, numItems, 9)
-	la := e.eligible(a, numItems)
+	a := eligTestTarget(0, numItems, 3)
+	b := eligTestTarget(1, numItems, 9)
+	la := e.eligible(*a, numItems)
 	snapshot := append([]int32(nil), la...)
-	lb := e.eligible(b, numItems) // evicts a
+	lb := e.eligible(*b, numItems) // evicts a
 	requireEligMatchesNaive(t, "replacement", lb, b, numItems)
 	for i := range la {
 		if la[i] != snapshot[i] {
@@ -125,19 +126,19 @@ func FuzzEligCache(f *testing.F) {
 	f.Fuzz(func(t *testing.T, ops []byte) {
 		const numItems, nClients, budget = 70, 8, 3
 		e := newEligCache(budget)
-		clients := make([]*Client, nClients)
-		for i := range clients {
-			clients[i] = eligTestClient(i, numItems, i)
+		targets := make([]*disperseTarget, nClients)
+		for i := range targets {
+			targets[i] = eligTestTarget(i, numItems, i)
 		}
 		for step, op := range ops {
-			c := clients[int(op&0x7f)%nClients]
+			c := targets[int(op&0x7f)%nClients]
 			if op&0x80 != 0 {
 				// Simulate a new upload: the exclusion set changes and the
 				// generation advances, invalidating any cached list.
-				c.lastUpload.Add((step*13 + int(op)) % numItems)
-				c.uploadGen++
+				c.excl.Add((step*13 + int(op)) % numItems)
+				c.gen++
 			}
-			got := e.eligible(c, numItems)
+			got := e.eligible(*c, numItems)
 			requireEligMatchesNaive(t, "fuzz step", got, c, numItems)
 			if n := e.entries(); n > budget {
 				t.Fatalf("step %d: entries = %d exceeds budget %d", step, n, budget)

@@ -1,0 +1,279 @@
+package fed
+
+import (
+	"time"
+
+	"ptffedrec/internal/comm"
+	"ptffedrec/internal/data"
+	"ptffedrec/internal/eval"
+	"ptffedrec/internal/models"
+	"ptffedrec/internal/par"
+	"ptffedrec/internal/rng"
+)
+
+// ClientOutcome is what the server observes from one selected client slot
+// after the transport has had its say: the (possibly truncated) upload it
+// received, the bytes that crossed the wire, and the client's self-reported
+// loss and attack score — or Dropped if nothing arrived at all.
+type ClientOutcome struct {
+	ID          int
+	Upload      []comm.Prediction
+	UploadBytes int
+	Loss        float64
+	AttackF1    float64
+	Dropped     bool
+}
+
+// Dispersal is one client's D̃ᵢ leaving the server: the canonical wire
+// payload plus its decoded form. Preds is exactly what a faithful receiver
+// decodes from Payload, so in-process delivery and network delivery hand the
+// client identical values.
+type Dispersal struct {
+	ID      int
+	Preds   []comm.Prediction
+	Payload []byte
+}
+
+// RoundEngine is the server side of Algorithm 1's loop body with the
+// transport abstracted away: it selects the round's cohort, absorbs whatever
+// outcomes the transport gathered, trains the hidden model, and produces the
+// dispersals. The in-process Trainer and the networked coordinator both run
+// rounds through this engine, so the two paths share one deterministic
+// implementation — identical outcomes in produce identical histories and
+// dispersals out, bitwise, for any worker count.
+type RoundEngine struct {
+	cfg      Config
+	numUsers int
+	server   *Server
+	meter    *comm.Meter
+	root     *rng.Stream
+	phases   *PhaseSeconds
+
+	// lastDisperseSecs is the dispersal-phase wall of the most recent
+	// CloseRound — what a sequential eval fallback adds to DisperseEvalWall.
+	lastDisperseSecs float64
+}
+
+// NewRoundEngine builds the server-side engine for a numUsers × numItems
+// universe. The rng root derives purely from cfg.Seed with the same recipe
+// the client hosts use, so an engine and a host constructed apart — even in
+// different processes — consume identical streams.
+func NewRoundEngine(numUsers, numItems int, cfg Config) (*RoundEngine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	e := &RoundEngine{
+		cfg:      cfg,
+		numUsers: numUsers,
+		meter:    comm.NewMeter(),
+		root:     rng.New(cfg.Seed).Derive("ptf-fedrec"),
+		phases:   &PhaseSeconds{},
+	}
+	server, err := newServer(numUsers, numItems, &e.cfg, e.root)
+	if err != nil {
+		return nil, err
+	}
+	e.server = server
+	return e, nil
+}
+
+// Server exposes the hidden server model and its state.
+func (e *RoundEngine) Server() *Server { return e.server }
+
+// Meter exposes the communication meter.
+func (e *RoundEngine) Meter() *comm.Meter { return e.meter }
+
+// Config returns the active configuration.
+func (e *RoundEngine) Config() Config { return e.cfg }
+
+// Phases returns the cumulative per-phase wall-clock.
+func (e *RoundEngine) Phases() PhaseSeconds { return *e.phases }
+
+// ResetPhases zeroes the per-phase timers.
+func (e *RoundEngine) ResetPhases() { *e.phases = PhaseSeconds{} }
+
+// sharePhases points the engine's phase accounting at an external sink (the
+// Trainer aggregates engine phases with its own client-train timer).
+func (e *RoundEngine) sharePhases(p *PhaseSeconds) { e.phases = p }
+
+// Select samples the round's cohort Uᵗ. Selection is a pure function of
+// (seed, round), so a coordinator and an observer agree on every round's
+// cohort without communicating.
+func (e *RoundEngine) Select(round int) []int {
+	sel := e.root.DeriveN("select", round)
+	n := int(e.cfg.ClientFraction * float64(e.numUsers))
+	if n < 1 {
+		n = 1
+	}
+	return sel.SampleInts(e.numUsers, n)
+}
+
+// NewEvaluator builds a ranking evaluator for the split with the engine's
+// knobs applied. The candidate cache is read-only after construction, so one
+// evaluator serves every subsequent Evaluate — including one overlapped with
+// dispersal.
+func (e *RoundEngine) NewEvaluator(sp *data.Split) *eval.Evaluator {
+	ev := eval.NewEvaluator(sp)
+	ev.SingleUser = e.cfg.EvalSingleUser
+	return ev
+}
+
+// Evaluate ranks the hidden server model through ev — the quantity Table III
+// reports for PTF-FedRec.
+func (e *RoundEngine) Evaluate(ev *eval.Evaluator) eval.Result {
+	return ev.Rank(e.server.model, e.cfg.EvalK, e.cfg.EvalWorkers)
+}
+
+// CloseRound finishes round `round` from the transport-gathered outcomes
+// (slot order must match Select's cohort order — the determinism contract):
+// absorb the uploads, rebuild the graph, optimise Eq. 5, and build every
+// responder's dispersal. The returned dispersals are in responder slot order.
+//
+// A non-nil overlap runs concurrently with the dispersal phase — the Trainer
+// passes its server evaluation, which after the shared warm step is a pure
+// read of the frozen model. CloseRound returns only after overlap finishes.
+func (e *RoundEngine) CloseRound(round int, outcomes []ClientOutcome, overlap func()) (RoundStats, []Dispersal) {
+	workers := par.Workers(e.cfg.Workers)
+	stats := RoundStats{Round: round, Participants: len(outcomes)}
+	responders := make([]ClientOutcome, 0, len(outcomes))
+	uploads := make([][]comm.Prediction, 0, len(outcomes))
+	for _, o := range outcomes {
+		if o.Dropped {
+			stats.Dropped++
+			continue
+		}
+		responders = append(responders, o)
+		uploads = append(uploads, o.Upload)
+		stats.ClientLoss += o.Loss
+		stats.AttackF1 += o.AttackF1
+		stats.UploadBytes += int64(o.UploadBytes)
+		e.meter.AddUp(o.ID, o.UploadBytes)
+	}
+	if len(responders) > 0 {
+		stats.ClientLoss /= float64(len(responders))
+		stats.AttackF1 /= float64(len(responders))
+	}
+
+	// Server-side: absorb uploads, rebuild the graph, optimise Eq. 5. The
+	// absorb counters and the training-set construction shard over the round
+	// pool; inside every server TrainBatch the gradient workspace engine
+	// shards over TrainWorkers with a chunk-ordered merge. Absorb may fuse the
+	// incremental edge selection into its pass over the uploads; that slice of
+	// wall-clock belongs to GraphBuild, so it is re-attributed there.
+	phaseStart := time.Now()
+	e.server.absorb(uploads, workers)
+	absorbWall := time.Since(phaseStart).Seconds()
+	fusedSecs := e.server.takeFusedSecs()
+	e.phases.Absorb += absorbWall - fusedSecs
+
+	phaseStart = time.Now()
+	e.server.rebuildGraph(workers)
+	e.phases.GraphBuild += time.Since(phaseStart).Seconds() + fusedSecs
+
+	phaseStart = time.Now()
+	stats.ServerLoss = e.server.train(uploads, workers)
+	e.phases.ServerTrain += time.Since(phaseStart).Seconds()
+
+	// Dispersal: the global confidence ranking is computed once for the
+	// round; each client draws from a stream derived per (round, client), and
+	// dispersal only reads server state (plus per-worker scratch), so results
+	// match the serial loop exactly. The Eq. 9 exclusion set V̂ᵗᵢ comes from
+	// the server's upload store — what it actually received — so a networked
+	// server needs nothing the wire did not carry.
+	phaseStart = time.Now()
+	var overlapDone chan struct{}
+	// Warm before an overlapped eval unconditionally; otherwise only a
+	// parallel dispersal with work to do needs the shared caches hot.
+	// Warming is idempotent and bitwise-neutral either way.
+	if w, ok := e.server.model.(models.Warmer); ok && (overlap != nil || (workers > 1 && len(responders) > 0)) {
+		w.WarmScoring()
+	}
+	if overlap != nil {
+		overlapDone = make(chan struct{})
+		go func() {
+			defer close(overlapDone)
+			overlap()
+		}()
+	}
+	dispersals := make([]Dispersal, len(responders))
+	if len(responders) > 0 {
+		plan := e.server.buildDispersalPlan()
+		// The batched engine needs the multi-user scoring contract; the
+		// scalar per-client path is the fallback (and, via DisperseScalar,
+		// the timing baseline). Both produce bitwise-identical dispersals.
+		mbs, batched := e.server.model.(models.MultiBlockScorer)
+		batched = batched && !e.cfg.DisperseScalar && e.cfg.Alpha > 0
+		// Per-client streams are only consumed by the random ablation arms,
+		// and deriving one costs a full generator seeding — so the
+		// deterministic conf+hard arm skips them entirely, and the random
+		// arms derive the round-level parent once. Both are bitwise-neutral:
+		// derivation is a pure function of the parent's immutable seed (safe
+		// to share across workers), and an unused stream influences nothing.
+		streams := disperseNeedsStreams(&e.cfg)
+		var roundStream *rng.Stream
+		if streams {
+			roundStream = e.root.DeriveN("disperse", round)
+		}
+		clientStream := func(id int) *rng.Stream {
+			if !streams {
+				return nil
+			}
+			return roundStream.DeriveN("client", id)
+		}
+		cResponders, cDispersals := responders, dispersals
+		chunk := (len(responders) + workers - 1) / workers
+		par.ForChunks(len(responders), chunk, workers, func(lo, hi int) {
+			if batched {
+				sc := newDisperseBatchScratch()
+				for b := lo; b < hi; b += disperseBatchClients {
+					be := b + disperseBatchClients
+					if be > hi {
+						be = hi
+					}
+					slots := sc.slots[:be-b]
+					for i := b; i < be; i++ {
+						id := cResponders[i].ID
+						slots[i-b].tgt, sc.excls[i-b] = e.server.disperseTargetInto(id, sc.excls[i-b])
+						slots[i-b].ds = clientStream(id)
+					}
+					e.server.disperseBatch(mbs, slots, plan, sc)
+					for i := b; i < be; i++ {
+						payload, preds := wireRoundTrip(slots[i-b].preds, e.cfg.QuantizeScores)
+						cDispersals[i] = Dispersal{ID: cResponders[i].ID, Preds: preds, Payload: payload}
+					}
+				}
+				return
+			}
+			scratch := &disperseScratch{}
+			for i := lo; i < hi; i++ {
+				id := cResponders[i].ID
+				var tgt disperseTarget
+				tgt, scratch.excl = e.server.disperseTargetInto(id, scratch.excl)
+				out := e.server.disperse(tgt, clientStream(id), plan, scratch)
+				payload, preds := wireRoundTrip(out, e.cfg.QuantizeScores)
+				cDispersals[i] = Dispersal{ID: id, Preds: preds, Payload: payload}
+			}
+		})
+	}
+	for _, d := range dispersals {
+		stats.DispersBytes += int64(len(d.Payload))
+		e.meter.AddDown(d.ID, len(d.Payload))
+	}
+	disperseSecs := time.Since(phaseStart).Seconds()
+	e.phases.Disperse += disperseSecs
+	e.lastDisperseSecs = disperseSecs
+	if overlapDone != nil {
+		<-overlapDone
+		e.phases.DisperseEvalWall += time.Since(phaseStart).Seconds()
+	}
+	e.meter.EndRound()
+	return stats, dispersals
+}
+
+// disperseNeedsStreams reports whether the configured dispersal arm consumes
+// per-client randomness: only the ablation arms that replace the confidence
+// or hard half with uniform draws do.
+func disperseNeedsStreams(cfg *Config) bool {
+	nConf, nHard, confRandom, hardRandom := disperseArms(cfg)
+	return (nConf > 0 && confRandom) || (nHard > 0 && hardRandom)
+}

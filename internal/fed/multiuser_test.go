@@ -127,8 +127,15 @@ func TestEligCacheMatchesNaiveWalk(t *testing.T) {
 
 	sv := tr.Server()
 	var walk []int
+	var bit *bitset.Set
 	for _, c := range tr.Clients() {
-		got := sv.elig.eligible(c, sp.NumItems)
+		// The target's exclusion set comes from the server's upload store; in
+		// a fault-free run it must carry the same item set the client
+		// remembers sending, so the naive walk probes c.lastUpload — the
+		// comparison doubles as a store-vs-client consistency check.
+		var tgt disperseTarget
+		tgt, bit = sv.disperseTargetInto(c.ID, bit)
+		got := sv.elig.eligible(tgt, sp.NumItems)
 		walk = naiveEligible(walk, sp.NumItems, c.lastUpload)
 		if len(got) != len(walk) {
 			t.Fatalf("client %d: cache served %d eligible, walk found %d", c.ID, len(got), len(walk))
@@ -139,7 +146,7 @@ func TestEligCacheMatchesNaiveWalk(t *testing.T) {
 			}
 		}
 		// Cache hit: same generation must serve the same backing array.
-		again := sv.elig.eligible(c, sp.NumItems)
+		again := sv.elig.eligible(tgt, sp.NumItems)
 		if len(again) > 0 && &again[0] != &got[0] {
 			t.Fatalf("client %d: cache rebuilt on unchanged generation", c.ID)
 		}
@@ -147,13 +154,14 @@ func TestEligCacheMatchesNaiveWalk(t *testing.T) {
 
 	// Another round re-uploads: generations move, entries rebuild, and the
 	// walk equivalence still holds.
-	gen0 := tr.Clients()[0].uploadGen
+	gen0 := sv.upGen[0]
 	tr.RunRound(1)
 	c := tr.Clients()[0]
-	if c.uploadGen == gen0 {
+	if sv.upGen[0] == gen0 {
 		t.Fatal("upload generation did not advance with a new upload")
 	}
-	got := sv.elig.eligible(c, sp.NumItems)
+	tgt, _ := sv.disperseTargetInto(0, nil)
+	got := sv.elig.eligible(tgt, sp.NumItems)
 	walk = naiveEligible(walk, sp.NumItems, c.lastUpload)
 	if !reflect.DeepEqual(candsetWiden(got), walk) {
 		t.Fatalf("client %d after round 1: cache %v != walk %v", c.ID, got, walk)

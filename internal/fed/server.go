@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"time"
 
+	"ptffedrec/internal/bitset"
 	"ptffedrec/internal/comm"
 	"ptffedrec/internal/graph"
 	"ptffedrec/internal/metrics"
@@ -66,6 +68,31 @@ type Server struct {
 	inc       *graph.Incremental
 	incDirty  []int
 	incBroken bool
+
+	// upGen counts absorbed (non-empty) uploads per user — the server-side
+	// upload generation the dispersal eligibility cache keys invalidation on.
+	// uint32 keeps the per-user cost at 4 B for million-user stores; empty
+	// uploads don't bump it because the store's SetBatch ignores them, so the
+	// generation and the stored view always move together.
+	upGen []uint32
+
+	// Fused edge-selection state: when the incremental graph engine will run,
+	// absorb selects the round's edges directly from the upload slices it is
+	// already holding — instead of writing the store and immediately re-reading
+	// every dirty user's view in rebuildGraph. fusedUsers/fusedOff/fusedSlab
+	// mirror collectEdgesFor's (users, off, slab) shape; fusedValid marks one
+	// unconsumed selection, and rebuildGraphIncremental uses it only when the
+	// store's dirty set matches exactly (the two-pass path stays as the
+	// fallback and the tests' cross-check). fusedSecs accrues the selection
+	// time spent inside absorb so the round engine can attribute it to the
+	// graph-build phase.
+	fusedUsers []int
+	fusedOff   []int
+	fusedSlab  []graph.Edge
+	fusedIdx   []int32
+	fusedSort  uploadOrderSorter
+	fusedValid bool
+	fusedSecs  float64
 }
 
 // newServer builds the hidden server model.
@@ -99,6 +126,7 @@ func newServer(numUsers, numItems int, cfg *Config, parent *rng.Stream) (*Server
 		store:    newUploadStore(numUsers, cfg),
 		elig:     newEligCache(cfg.EligCacheEntries),
 		ident:    ident,
+		upGen:    make([]uint32, numUsers),
 	}, nil
 }
 
@@ -199,6 +227,117 @@ func (sv *Server) absorb(uploads [][]comm.Prediction, workers int) {
 		}
 	}
 	sv.store.SetBatch(uploads, workers)
+	for _, up := range uploads {
+		if len(up) == 0 {
+			continue
+		}
+		if u := up[0].User; u >= 0 && u < len(sv.upGen) {
+			sv.upGen[u]++
+		}
+	}
+	sv.fusedValid = false
+	if _, ok := sv.model.(models.GraphDeltaRecommender); ok && !sv.cfg.FullGraphRebuild && !sv.incBroken {
+		start := time.Now()
+		sv.fuseEdgeSelection(uploads, workers)
+		sv.fusedSecs += time.Since(start).Seconds()
+	}
+}
+
+// fuseEdgeSelection runs the incremental graph path's edge selection on the
+// round's upload slices while absorb still holds them, saving rebuildGraph a
+// full re-read of every dirty user's stored view. The selection is the same
+// two-pass count/fill over the same soft-positive rules (countEdgesIn /
+// fillEdgesIn are shared with the store-reading path), over the non-empty
+// uploads in ascending user order — exactly the store's dirty order.
+func (sv *Server) fuseEdgeSelection(uploads [][]comm.Prediction, workers int) {
+	idx := sv.fusedIdx[:0]
+	for i, up := range uploads {
+		if len(up) > 0 {
+			idx = append(idx, int32(i))
+		}
+	}
+	sv.fusedIdx = idx
+	sv.fusedSort.idx, sv.fusedSort.uploads = idx, uploads
+	sort.Sort(&sv.fusedSort)
+	sv.fusedSort.uploads = nil
+
+	users := sv.fusedUsers
+	if cap(users) < len(idx) {
+		users = make([]int, len(idx))
+	}
+	users = users[:len(idx):cap(users)]
+	sv.fusedUsers = users
+	off := sv.fusedOff
+	if cap(off) < len(idx)+1 {
+		off = make([]int, len(idx)+1)
+	}
+	off = off[: len(idx)+1 : cap(off)]
+	sv.fusedOff = off
+
+	workers = par.Workers(workers)
+	off[0] = 0
+	if workers <= 1 {
+		for i, ui := range idx {
+			up := uploads[ui]
+			users[i] = up[0].User
+			off[i+1] = sv.countEdgesIn(up)
+		}
+	} else {
+		cIdx, cUsers, cOff := idx, users, off
+		par.For(len(cIdx), workers, func(i int) {
+			up := uploads[cIdx[i]]
+			cUsers[i] = up[0].User
+			cOff[i+1] = sv.countEdgesIn(up)
+		})
+	}
+	for i := 1; i <= len(idx); i++ {
+		off[i] += off[i-1]
+	}
+
+	slab := sv.fusedSlab
+	if cap(slab) < off[len(idx)] {
+		slab = make([]graph.Edge, off[len(idx)])
+	}
+	slab = slab[:off[len(idx)]]
+	sv.fusedSlab = slab
+
+	if workers <= 1 {
+		for i, ui := range idx {
+			sv.fillEdgesIn(users[i], uploads[ui], slab[off[i]:off[i+1]], &sv.edgeSort)
+		}
+	} else {
+		cIdx, cUsers, cOff, cSlab := idx, users, off, slab
+		chunk := (len(cIdx) + workers - 1) / workers
+		par.ForChunks(len(cIdx), chunk, workers, func(lo, hi int) {
+			var sorter edgeSorter
+			for i := lo; i < hi; i++ {
+				sv.fillEdgesIn(cUsers[i], uploads[cIdx[i]], cSlab[cOff[i]:cOff[i+1]], &sorter)
+			}
+		})
+	}
+	sv.fusedValid = true
+}
+
+// uploadOrderSorter orders upload indices by user id ascending — the
+// allocation-free sorter the fused selection uses to match the store's dirty
+// order. Uploads carry one user each, so the first prediction's id is the key.
+type uploadOrderSorter struct {
+	idx     []int32
+	uploads [][]comm.Prediction
+}
+
+func (s *uploadOrderSorter) Len() int { return len(s.idx) }
+func (s *uploadOrderSorter) Less(a, b int) bool {
+	return s.uploads[s.idx[a]][0].User < s.uploads[s.idx[b]][0].User
+}
+func (s *uploadOrderSorter) Swap(a, b int) { s.idx[a], s.idx[b] = s.idx[b], s.idx[a] }
+
+// takeFusedSecs drains the time absorb spent on fused edge selection, so the
+// round engine can move it from the absorb phase to the graph-build phase.
+func (sv *Server) takeFusedSecs() float64 {
+	s := sv.fusedSecs
+	sv.fusedSecs = 0
+	return s
 }
 
 // rebuildGraph reconstructs the server's bipartite graph from every user's
@@ -255,7 +394,16 @@ func (sv *Server) rebuildGraph(workers int) {
 func (sv *Server) rebuildGraphIncremental(dm models.GraphDeltaRecommender, workers int) bool {
 	dirty := sv.store.DirtyUsers(sv.incDirty[:0])
 	sv.incDirty = dirty
-	off, slab := sv.collectEdgesFor(dirty, workers)
+	var off []int
+	var slab []graph.Edge
+	if sv.fusedValid && intsEqual(dirty, sv.fusedUsers) {
+		// absorb already selected this round's edges from the upload slices;
+		// consume them instead of re-reading every dirty view from the store.
+		off, slab = sv.fusedOff, sv.fusedSlab
+	} else {
+		off, slab = sv.collectEdgesFor(dirty, workers)
+	}
+	sv.fusedValid = false
 	for i := range slab {
 		if !(slab[i].Weight > 0) {
 			return false
@@ -338,10 +486,28 @@ func (sv *Server) collectEdgesFor(users []int, workers int) (off []int, slab []g
 	return off, slab
 }
 
+// intsEqual reports whether two int slices are element-for-element equal.
+func intsEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // countEdges returns how many edges the configured soft-positive rule
 // selects from user u's latest upload — the sizing pass of collectEdges.
 func (sv *Server) countEdges(u int) int {
-	preds := sv.store.View(u)
+	return sv.countEdgesIn(sv.store.View(u))
+}
+
+// countEdgesIn is countEdges over an explicit prediction slice — shared by
+// the store-reading two-pass path and absorb's fused selection.
+func (sv *Server) countEdgesIn(preds []comm.Prediction) int {
 	if sv.cfg.GraphTopFrac > 0 {
 		n := int(sv.cfg.GraphTopFrac*float64(len(preds)) + 0.5)
 		if n < 1 {
@@ -367,7 +533,12 @@ func (sv *Server) countEdges(u int) int {
 // scores floored at 0.05; the threshold rule keeps upload order. Calls for
 // distinct users only read server state, so they run concurrently.
 func (sv *Server) fillEdges(u int, dst []graph.Edge, sorter *edgeSorter) {
-	preds := sv.store.View(u)
+	sv.fillEdgesIn(u, sv.store.View(u), dst, sorter)
+}
+
+// fillEdgesIn is fillEdges over an explicit prediction slice — shared by the
+// store-reading two-pass path and absorb's fused selection.
+func (sv *Server) fillEdgesIn(u int, preds []comm.Prediction, dst []graph.Edge, sorter *edgeSorter) {
 	if sv.cfg.GraphTopFrac > 0 {
 		if cap(sorter.order) < len(preds) {
 			sorter.order = make([]int, len(preds))
@@ -481,6 +652,45 @@ func (sv *Server) buildDispersalPlan() *dispersalPlan {
 	return plan
 }
 
+// disperseTarget identifies one dispersal recipient from the server's own
+// state: the user id, the exclusion set Eq. 9's "vⱼ ∉ V̂ᵗᵢ" constraint walks
+// (nil when the server holds no upload for the user), and the upload
+// generation the eligibility cache keys on. It deliberately carries no
+// *Client — the networked coordinator disperses to users it only knows
+// through the wire, so everything here must derive from what the server
+// received.
+type disperseTarget struct {
+	id   int
+	excl *bitset.Set
+	gen  uint64
+}
+
+// disperseTargetInto builds user id's dispersal target from the upload store,
+// filling (and returning) the caller's reusable scratch bitset. A user with
+// no stored upload gets a nil exclusion set. The exclusion therefore reflects
+// what the server actually received — under a truncated upload, the truncated
+// item set — which is the only exclusion a transport-separated server can
+// honour.
+func (sv *Server) disperseTargetInto(id int, bit *bitset.Set) (disperseTarget, *bitset.Set) {
+	tgt := disperseTarget{id: id, gen: uint64(sv.upGen[id])}
+	up := sv.store.View(id)
+	if len(up) == 0 {
+		return tgt, bit
+	}
+	if bit == nil {
+		bit = bitset.New(sv.numItems)
+	} else {
+		bit.Reset()
+	}
+	for _, p := range up {
+		if p.Item >= 0 && p.Item < sv.numItems {
+			bit.Add(p.Item)
+		}
+	}
+	tgt.excl = bit
+	return tgt, bit
+}
+
 // disperseScratch is per-worker reusable storage for the dispersal loop, so
 // a worker's whole share of clients runs with a handful of allocations total.
 type disperseScratch struct {
@@ -488,6 +698,7 @@ type disperseScratch struct {
 	scores   []float64
 	top      []int
 	topk     models.TopKScratch
+	excl     *bitset.Set
 }
 
 // disperse builds D̃ᵢ for one client (Eq. 9): µα items by update-frequency
@@ -501,12 +712,12 @@ type disperseScratch struct {
 // seeded runs stay reproducible for any worker count. disperse itself only
 // reads server state (and the caller-owned scratch), so concurrent calls for
 // distinct clients are safe once the model's scoring cache is warm.
-func (sv *Server) disperse(c *Client, ds *rng.Stream, plan *dispersalPlan, scratch *disperseScratch) []comm.Prediction {
+func (sv *Server) disperse(tgt disperseTarget, ds *rng.Stream, plan *dispersalPlan, scratch *disperseScratch) []comm.Prediction {
 	alpha := sv.cfg.Alpha
 	if alpha <= 0 {
 		return nil
 	}
-	excluded := func(v int) bool { return c.lastUpload != nil && c.lastUpload.Contains(v) }
+	excluded := func(v int) bool { return tgt.excl != nil && tgt.excl.Contains(v) }
 
 	nConf, nHard, confRandom, hardRandom := disperseArms(sv.cfg)
 
@@ -564,14 +775,14 @@ func (sv *Server) disperse(c *Client, ds *rng.Stream, plan *dispersalPlan, scrat
 		} else {
 			kSel := nHard + len(items)
 			if bs, ok := sv.model.(models.BlockScorer); ok {
-				top := models.ScoreBlockTopK(bs, &scratch.topk, c.ID, eligible, kSel)
+				top := models.ScoreBlockTopK(bs, &scratch.topk, tgt.id, eligible, kSel)
 				buf := scratch.top[:0]
 				for _, idx := range top {
 					buf = append(buf, eligible[idx])
 				}
 				scratch.top = buf
 			} else {
-				scratch.scores = sv.scoreItems(scratch.scores, c.ID, eligible)
+				scratch.scores = sv.scoreItems(scratch.scores, tgt.id, eligible)
 				scratch.top = topKByScore(scratch.top, eligible, scratch.scores, kSel)
 			}
 			items, _ = pickItems(items, scratch.top, nHard)
@@ -580,10 +791,10 @@ func (sv *Server) disperse(c *Client, ds *rng.Stream, plan *dispersalPlan, scrat
 
 	// scratch.scores is dead once topKByScore has consumed it, so the final
 	// scoring pass reuses it; the Prediction structs copy the values out.
-	scratch.scores = sv.scoreItems(scratch.scores, c.ID, items)
+	scratch.scores = sv.scoreItems(scratch.scores, tgt.id, items)
 	preds := make([]comm.Prediction, len(items))
 	for i, v := range items {
-		preds[i] = comm.Prediction{User: c.ID, Item: v, Score: scratch.scores[i]}
+		preds[i] = comm.Prediction{User: tgt.id, Item: v, Score: scratch.scores[i]}
 	}
 	return preds
 }

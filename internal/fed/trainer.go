@@ -11,7 +11,6 @@ import (
 	"ptffedrec/internal/eval"
 	"ptffedrec/internal/models"
 	"ptffedrec/internal/par"
-	"ptffedrec/internal/privacy"
 	"ptffedrec/internal/rng"
 )
 
@@ -67,15 +66,24 @@ func (p PhaseSeconds) Total() float64 {
 	return p.ClientTrain + p.Absorb + p.GraphBuild + p.ServerTrain + p.Disperse
 }
 
-// Trainer orchestrates PTF-FedRec end to end (Algorithm 1).
+// Trainer orchestrates PTF-FedRec end to end (Algorithm 1), composing the
+// two transport-agnostic halves in one process: a ClientHost running every
+// user's client side and a RoundEngine running the server side. It is the
+// deterministic reference the networked coordinator path is pinned against —
+// same halves, loopback wire in between, bitwise-identical history.
 type Trainer struct {
-	cfg     Config
-	split   *data.Split
-	clients []*Client
+	cfg    Config
+	split  *data.Split
+	host   *ClientHost
+	engine *RoundEngine
+	phases PhaseSeconds
+
+	// server/clients/meter/root alias into the engine and host (tests and
+	// the in-package benchmarks reach through them).
 	server  *Server
+	clients []*Client
 	meter   *comm.Meter
 	root    *rng.Stream
-	phases  PhaseSeconds
 
 	// evaluator caches the per-user candidate sets across rounds (the train
 	// mask never changes), built lazily on the first evaluation. It is
@@ -86,64 +94,31 @@ type Trainer struct {
 
 // NewTrainer wires up one client per user and the hidden server model.
 func NewTrainer(sp *data.Split, cfg Config) (*Trainer, error) {
-	if err := cfg.Validate(); err != nil {
+	host, err := NewClientHost(sp, cfg)
+	if err != nil {
 		return nil, err
 	}
-	root := rng.New(cfg.Seed).Derive("ptf-fedrec")
-	server, err := newServer(sp.NumUsers, sp.NumItems, &cfg, root)
+	engine, err := NewRoundEngine(sp.NumUsers, sp.NumItems, cfg)
 	if err != nil {
 		return nil, err
 	}
 	t := &Trainer{
-		cfg:    cfg,
-		split:  sp,
-		server: server,
-		meter:  comm.NewMeter(),
-		root:   root,
+		cfg:     cfg,
+		split:   sp,
+		host:    host,
+		engine:  engine,
+		server:  engine.server,
+		clients: host.clients,
+		meter:   engine.meter,
+		root:    host.root,
 	}
-	if cfg.LazyClients {
-		// Clients materialise on first participation via t.client; build one
-		// eagerly so an invalid client-model kind still fails at construction
-		// time instead of mid-round.
-		t.clients = make([]*Client, sp.NumUsers)
-		if sp.NumUsers > 0 {
-			c, err := newClient(0, sp.Train[0], sp.NumItems, &t.cfg, root)
-			if err != nil {
-				return nil, err
-			}
-			t.clients[0] = c
-		}
-		return t, nil
-	}
-	for u := 0; u < sp.NumUsers; u++ {
-		c, err := newClient(u, sp.Train[u], sp.NumItems, &t.cfg, root)
-		if err != nil {
-			return nil, err
-		}
-		t.clients = append(t.clients, c)
-	}
+	engine.sharePhases(&t.phases)
 	return t, nil
 }
 
 // client returns participant i, constructing it on first use under
-// Config.LazyClients. Lazy construction is bitwise-safe because everything a
-// client owns derives purely from (config, split, id) — see the knob's doc.
-// Concurrent calls for distinct ids write distinct slots and the round/eval
-// engines never hand one id to two workers, so no synchronisation is needed.
-func (t *Trainer) client(i int) *Client {
-	c := t.clients[i]
-	if c == nil {
-		var err error
-		c, err = newClient(i, t.split.Train[i], t.split.NumItems, &t.cfg, t.root)
-		if err != nil {
-			// Construction can only fail on an invalid model kind, which the
-			// eager client 0 already validated.
-			panic(err)
-		}
-		t.clients[i] = c
-	}
-	return c
-}
+// Config.LazyClients.
+func (t *Trainer) client(i int) *Client { return t.host.Client(i) }
 
 // Clients exposes the participant list (tests, examples), materialising any
 // clients a lazy trainer has not built yet.
@@ -170,16 +145,6 @@ func (t *Trainer) PhaseSeconds() PhaseSeconds { return t.phases }
 // ResetPhaseSeconds zeroes the per-phase timers.
 func (t *Trainer) ResetPhaseSeconds() { t.phases = PhaseSeconds{} }
 
-// clientResult carries one participant's round output.
-type clientResult struct {
-	client   *Client
-	upload   []comm.Prediction
-	loss     float64
-	attackF1 float64
-	upBytes  int
-	dropped  bool
-}
-
 // RunRound executes Algorithm 1's loop body once.
 func (t *Trainer) RunRound(round int) RoundStats {
 	stats, _ := t.runRound(round, false)
@@ -198,215 +163,58 @@ func (t *Trainer) RunRoundEval(round int) (RoundStats, eval.Result) {
 }
 
 // runRound executes one round, optionally overlapping the server evaluation
-// with dispersal.
+// with dispersal: sample the cohort, run every selected client's local round
+// in parallel (each goroutine writes only its own slot, so the round is
+// deterministic for any worker count), close the round on the engine, and
+// deliver the dispersals.
 func (t *Trainer) runRound(round int, withEval bool) (RoundStats, eval.Result) {
-	// 1. Sample Uᵗ.
-	sel := t.root.DeriveN("select", round)
-	n := int(t.cfg.ClientFraction * float64(len(t.clients)))
-	if n < 1 {
-		n = 1
-	}
-	idx := sel.SampleInts(len(t.clients), n)
+	idx := t.engine.Select(round)
 
-	// 2. Parallel client local training + upload construction. Every write
-	// goes to the goroutine's own slot, so the round is deterministic for any
-	// worker count.
 	phaseStart := time.Now()
 	workers := par.Workers(t.cfg.Workers)
-	results := make([]clientResult, len(idx))
+	outcomes := make([]ClientOutcome, len(idx))
 	par.For(len(idx), workers, func(slot int) {
-		ci := idx[slot]
-		c := t.client(ci)
-		// Fault injection: a dropped client burns its local compute but
-		// nothing reaches the server.
-		if t.cfg.Faults.enabled() {
-			fs := t.root.DeriveN("fault", round).DeriveN("client", ci)
-			if fs.Bernoulli(t.cfg.Faults.DropoutRate) {
-				results[slot] = clientResult{client: c, dropped: true}
-				return
-			}
-			defer func() {
-				if fs.Bernoulli(t.cfg.Faults.TruncateRate) && len(results[slot].upload) > 1 {
-					// The halved upload goes back through the configured wire
-					// codec, so UploadBytes and the scores the server sees
-					// honour QuantizeScores for truncated clients too.
-					upload, upBytes := t.encodeForWire(results[slot].upload[:len(results[slot].upload)/2])
-					results[slot].upload = upload
-					results[slot].upBytes = upBytes
-				}
-			}()
-		}
-		upload, loss := c.localTrain(func(n int) []int {
-			return t.split.SampleNegativesN(c.s.DeriveN("negs", round), c.ID, n)
-		})
-		upload, upBytes := t.encodeForWire(upload)
-		// The curious-but-honest server's inference attempt, scored
-		// against ground truth for Table V / Fig. 3.
-		guessed := privacy.TopGuessAttack(upload, t.cfg.AttackPosFraction)
-		f1 := privacy.AttackF1(upload, guessed, c.isPositive)
-		results[slot] = clientResult{
-			client:   c,
-			upload:   upload,
-			loss:     loss,
-			attackF1: f1,
-			upBytes:  upBytes,
-		}
+		outcomes[slot] = t.host.RunClientRound(round, idx[slot]).Outcome()
 	})
 	t.phases.ClientTrain += time.Since(phaseStart).Seconds()
 
-	stats := RoundStats{Round: round, Participants: len(idx)}
-	uploads := make([][]comm.Prediction, 0, len(results))
-	responders := results[:0:0]
-	for _, r := range results {
-		if r.dropped {
-			stats.Dropped++
-			continue
-		}
-		responders = append(responders, r)
-		uploads = append(uploads, r.upload)
-		stats.ClientLoss += r.loss
-		stats.AttackF1 += r.attackF1
-		stats.UploadBytes += int64(r.upBytes)
-		t.meter.AddUp(r.client.ID, r.upBytes)
-	}
-	results = responders
-	if len(results) > 0 {
-		stats.ClientLoss /= float64(len(results))
-		stats.AttackF1 /= float64(len(results))
-	}
-
-	// 3. Server-side: absorb uploads, rebuild the graph, optimise Eq. 5. The
-	// absorb counters and the training-set construction shard over the round
-	// pool; inside every server TrainBatch the gradient workspace engine
-	// shards over TrainWorkers with a chunk-ordered merge.
-	phaseStart = time.Now()
-	t.server.absorb(uploads, workers)
-	t.phases.Absorb += time.Since(phaseStart).Seconds()
-
-	phaseStart = time.Now()
-	t.server.rebuildGraph(workers)
-	t.phases.GraphBuild += time.Since(phaseStart).Seconds()
-
-	phaseStart = time.Now()
-	stats.ServerLoss = t.server.train(uploads, workers)
-	t.phases.ServerTrain += time.Since(phaseStart).Seconds()
-
-	// 4. Disperse D̃ᵢ to the round's participants on the worker pool. The
-	// global confidence ranking is computed once for the round; each client
-	// draws from a stream derived per (round, client), and dispersal only
-	// reads server state (plus per-worker scratch), so results match the
-	// serial loop exactly.
-	//
-	// When an evaluation is due it runs concurrently with dispersal: after
-	// the shared warm step both are pure reads of the frozen server model
-	// (dispersal additionally writes per-client D̃ᵢ, which eval never
-	// touches), so the overlap changes wall-clock only — never results. The
-	// overlap is gated on GOMAXPROCS > 1: on a single-core host the two
-	// phases just time-slice one thread and the goroutine handoffs make the
-	// pair slower than running them back to back, so eval falls back to a
-	// sequential run after dispersal (same results, same phase accounting).
-	phaseStart = time.Now()
-	overlapEval := withEval && runtime.GOMAXPROCS(0) > 1
-	// Warm before an overlapped eval unconditionally; otherwise only a
-	// parallel dispersal with work to do needs the shared caches hot. (The
-	// sequential-eval fallback warms inside EvaluateServer like any other
-	// eval; warming is idempotent and bitwise-neutral either way.)
-	if w, ok := t.server.model.(models.Warmer); ok && (overlapEval || (workers > 1 && len(results) > 0)) {
-		w.WarmScoring()
-	}
+	// When an evaluation is due it runs concurrently with dispersal inside
+	// CloseRound: after the shared warm step both are pure reads of the
+	// frozen server model (dispersal additionally builds per-client D̃ᵢ,
+	// which eval never touches), so the overlap changes wall-clock only —
+	// never results. The overlap is gated on GOMAXPROCS > 1: on a
+	// single-core host the two phases just time-slice one thread and the
+	// goroutine handoffs make the pair slower than running them back to
+	// back, so eval falls back to a sequential run after the round (same
+	// results, same phase accounting).
 	var evalRes eval.Result
 	var evalSecs float64
-	var evalDone chan struct{}
-	if overlapEval {
-		evalDone = make(chan struct{})
-		evalStart := time.Now()
-		go func() {
-			defer close(evalDone)
-			evalRes = t.EvaluateServer()
-			evalSecs = time.Since(evalStart).Seconds()
-		}()
-	}
-	dispersed := make([]int, len(results))
-	if len(results) > 0 {
-		plan := t.server.buildDispersalPlan()
-		// The batched engine needs the multi-user scoring contract; the
-		// scalar per-client path is the fallback (and, via DisperseScalar,
-		// the timing baseline). Both produce bitwise-identical dispersals.
-		mbs, batched := t.server.model.(models.MultiBlockScorer)
-		batched = batched && !t.cfg.DisperseScalar && t.cfg.Alpha > 0
-		// Per-client streams are only consumed by the random ablation arms,
-		// and deriving one costs a full generator seeding — so the
-		// deterministic conf+hard arm skips them entirely, and the random
-		// arms derive the round-level parent once. Both are bitwise-neutral:
-		// derivation is a pure function of the parent's immutable seed (safe
-		// to share across workers), and an unused stream influences nothing.
-		disperseStreams := t.disperseNeedsStreams()
-		var roundStream *rng.Stream
-		if disperseStreams {
-			roundStream = t.root.DeriveN("disperse", round)
-		}
-		clientStream := func(id int) *rng.Stream {
-			if !disperseStreams {
-				return nil
-			}
-			return roundStream.DeriveN("client", id)
-		}
-		chunk := (len(results) + workers - 1) / workers
-		par.ForChunks(len(results), chunk, workers, func(lo, hi int) {
-			if batched {
-				sc := newDisperseBatchScratch()
-				for b := lo; b < hi; b += disperseBatchClients {
-					be := b + disperseBatchClients
-					if be > hi {
-						be = hi
-					}
-					slots := sc.slots[:be-b]
-					for i := b; i < be; i++ {
-						r := results[i]
-						slots[i-b].c = r.client
-						slots[i-b].ds = clientStream(r.client.ID)
-					}
-					t.server.disperseBatch(mbs, slots, plan, sc)
-					for i := b; i < be; i++ {
-						preds, nBytes := t.encodeForWire(slots[i-b].preds)
-						results[i].client.receiveDispersal(preds)
-						dispersed[i] = nBytes
-					}
-				}
-				return
-			}
-			scratch := &disperseScratch{}
-			for i := lo; i < hi; i++ {
-				r := results[i]
-				preds := t.server.disperse(r.client, clientStream(r.client.ID), plan, scratch)
-				preds, nBytes := t.encodeForWire(preds)
-				r.client.receiveDispersal(preds)
-				dispersed[i] = nBytes
-			}
-		})
-	}
-	for i, r := range results {
-		stats.DispersBytes += int64(dispersed[i])
-		t.meter.AddDown(r.client.ID, dispersed[i])
-	}
-	t.phases.Disperse += time.Since(phaseStart).Seconds()
-	if withEval {
-		if evalDone != nil {
-			<-evalDone
-		} else {
+	var overlap func()
+	if withEval && runtime.GOMAXPROCS(0) > 1 {
+		overlap = func() {
 			evalStart := time.Now()
 			evalRes = t.EvaluateServer()
 			evalSecs = time.Since(evalStart).Seconds()
 		}
-		t.phases.Eval += evalSecs
-		t.phases.DisperseEvalWall += time.Since(phaseStart).Seconds()
 	}
-	t.meter.EndRound()
+	stats, dispersals := t.engine.CloseRound(round, outcomes, overlap)
+	for _, d := range dispersals {
+		t.host.Deliver(d.ID, d.Preds)
+	}
+	if withEval {
+		if overlap == nil {
+			evalStart := time.Now()
+			evalRes = t.EvaluateServer()
+			evalSecs = time.Since(evalStart).Seconds()
+			t.phases.DisperseEvalWall += t.engine.lastDisperseSecs + evalSecs
+		}
+		t.phases.Eval += evalSecs
+	}
 	return stats, evalRes
 }
 
 // BenchDispersal times the two dispersal engines head to head on the frozen
-// current server state: `passes` dispersal-only sweeps over every client
+// current server state: `passes` dispersal-only sweeps over every user
 // through the round-scoped multi-user batched engine, then the same sweeps
 // through the per-client scalar engine, on the configured Workers pool.
 // Neither sweep mutates protocol state — outputs are compared, not delivered
@@ -427,11 +235,13 @@ func (t *Trainer) BenchDispersal(passes int) (batchedSecs, scalarSecs float64, i
 	}
 	plan := t.server.buildDispersalPlan()
 	workers := par.Workers(t.cfg.Workers)
-	chunk := (len(t.clients) + workers - 1) / workers
+	numUsers := t.split.NumUsers
+	chunk := (numUsers + workers - 1) / workers
 	// Both engines must draw identical per-client streams; a fixed
 	// derivation (pure, never consumed elsewhere) keeps the sweep
-	// reproducible and stateless.
-	needStreams := t.disperseNeedsStreams()
+	// reproducible and stateless. Dispersal targets come from the server's
+	// upload store, so the sweep never touches (or materialises) clients.
+	needStreams := disperseNeedsStreams(&t.cfg)
 	benchRoot := t.root.Derive("disperse-bench")
 	clientStream := func(id int) *rng.Stream {
 		if !needStreams {
@@ -447,7 +257,7 @@ func (t *Trainer) BenchDispersal(passes int) (batchedSecs, scalarSecs float64, i
 	// groups spread slower drift evenly; and the minimum discards whole
 	// disturbed groups — interference only ever adds time.
 	const benchGroups = 3
-	out := make([][]comm.Prediction, len(t.clients))
+	out := make([][]comm.Prediction, numUsers)
 	var mismatches atomic.Int64
 	for g := 0; g < benchGroups; g++ {
 		firstGroup := g == 0
@@ -455,7 +265,7 @@ func (t *Trainer) BenchDispersal(passes int) (batchedSecs, scalarSecs float64, i
 		start := time.Now()
 		for p := 0; p < passes; p++ {
 			collect := firstGroup && p == 0
-			par.ForChunks(len(t.clients), chunk, workers, func(lo, hi int) {
+			par.ForChunks(numUsers, chunk, workers, func(lo, hi int) {
 				sc := newDisperseBatchScratch()
 				for b := lo; b < hi; b += disperseBatchClients {
 					be := b + disperseBatchClients
@@ -464,9 +274,8 @@ func (t *Trainer) BenchDispersal(passes int) (batchedSecs, scalarSecs float64, i
 					}
 					slots := sc.slots[:be-b]
 					for i := b; i < be; i++ {
-						c := t.client(i)
-						slots[i-b].c = c
-						slots[i-b].ds = clientStream(c.ID)
+						slots[i-b].tgt, sc.excls[i-b] = t.server.disperseTargetInto(i, sc.excls[i-b])
+						slots[i-b].ds = clientStream(i)
 					}
 					t.server.disperseBatch(mbs, slots, plan, sc)
 					if collect {
@@ -485,11 +294,12 @@ func (t *Trainer) BenchDispersal(passes int) (batchedSecs, scalarSecs float64, i
 		start = time.Now()
 		for p := 0; p < passes; p++ {
 			compare := firstGroup && p == 0
-			par.ForChunks(len(t.clients), chunk, workers, func(lo, hi int) {
+			par.ForChunks(numUsers, chunk, workers, func(lo, hi int) {
 				scratch := &disperseScratch{}
 				for i := lo; i < hi; i++ {
-					c := t.client(i)
-					preds := t.server.disperse(c, clientStream(c.ID), plan, scratch)
+					var tgt disperseTarget
+					tgt, scratch.excl = t.server.disperseTargetInto(i, scratch.excl)
+					preds := t.server.disperse(tgt, clientStream(i), plan, scratch)
 					if compare && !predictionsEqual(preds, out[i]) {
 						mismatches.Add(1)
 					}
@@ -514,31 +324,6 @@ func predictionsEqual(a, b []comm.Prediction) bool {
 		}
 	}
 	return true
-}
-
-// disperseNeedsStreams reports whether the configured dispersal arm consumes
-// per-client randomness: only the ablation arms that replace the confidence
-// or hard half with uniform draws do.
-func (t *Trainer) disperseNeedsStreams() bool {
-	nConf, nHard, confRandom, hardRandom := disperseArms(&t.cfg)
-	return (nConf > 0 && confRandom) || (nHard > 0 && hardRandom)
-}
-
-// encodeForWire runs predictions through the configured wire codec,
-// returning what the receiver actually sees plus the encoded byte count.
-// Under quantization the round trip is lossy by design.
-func (t *Trainer) encodeForWire(preds []comm.Prediction) ([]comm.Prediction, int) {
-	if !t.cfg.QuantizeScores {
-		return preds, len(comm.EncodePredictions(preds))
-	}
-	buf := comm.EncodePredictionsQuantized(preds)
-	decoded, err := comm.DecodePredictionsQuantized(buf)
-	if err != nil {
-		// Encoding our own payload cannot fail to decode; a failure here is
-		// a bug in the codec.
-		panic(err)
-	}
-	return decoded, len(buf)
 }
 
 // Run executes the configured number of rounds and a final evaluation.
@@ -571,8 +356,7 @@ func (t *Trainer) Run() (*History, error) {
 // their own knob settings.
 func (t *Trainer) splitEvaluator() *eval.Evaluator {
 	if t.evaluator == nil {
-		t.evaluator = eval.NewEvaluator(t.split)
-		t.evaluator.SingleUser = t.cfg.EvalSingleUser
+		t.evaluator = t.engine.NewEvaluator(t.split)
 	}
 	return t.evaluator
 }
@@ -589,7 +373,7 @@ func (t *Trainer) ShareEvaluator(e *eval.Evaluator) { t.evaluator = e }
 // Config.EvalWorkers workers (0 = GOMAXPROCS) with metrics identical for any
 // worker count, reusing the trainer's cached candidate sets every round.
 func (t *Trainer) EvaluateServer() eval.Result {
-	return t.splitEvaluator().Rank(t.server.model, t.cfg.EvalK, t.cfg.EvalWorkers)
+	return t.engine.Evaluate(t.splitEvaluator())
 }
 
 // EvaluateClients measures the mean ranking quality of the client-side local
