@@ -25,8 +25,10 @@ race:
 # stored population dwarfs the ~5k participants a round actually changes;
 # CI runs only the quick sweep. The JSON lands in a temp file first so a
 # failed run never truncates the committed record.
+# -timeout 30m: the root-package table benchmarks take ~10 min on one core,
+# right at go test's default 10m kill threshold.
 bench:
-	$(GO) test -bench=. -benchmem -benchtime=1x -run='^$$' . ./internal/fed/
+	$(GO) test -bench=. -benchmem -benchtime=1x -run='^$$' -timeout 30m . ./internal/fed/
 	$(GO) run ./cmd/ptfbench -exp scalability -quick -json > BENCH_scalability.json.tmp
 	$(GO) run ./cmd/ptfbench -exp scalability -profile huge-1m -rounds 10 -json >> BENCH_scalability.json.tmp
 	mv BENCH_scalability.json.tmp BENCH_scalability.json

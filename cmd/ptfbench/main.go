@@ -15,10 +15,14 @@
 // plus a batched-vs-scalar comparison (the same evaluation forced through
 // per-item scoring, against the BlockScorer matrix-kernel engine), a
 // select-vs-sort comparison (ranking forced through the legacy full-sort
-// top-K, against the fused streaming bounded-heap selection engine), and an
-// eval+dispersal overlap measurement (sequential vs concurrent tail).
-// BENCH_scalability.json at the repo root records the sweep per commit
-// (`make bench` regenerates it; CI uploads a fresh one as an artifact).
+// top-K, against the fused streaming bounded-heap selection engine), an
+// eval+dispersal overlap measurement (sequential vs concurrent tail), and a
+// cross-round pipeline comparison (seq_round_secs vs pipe_round_secs: the
+// serialized round loop against the dependency-gated double-buffered
+// pipeline, plus net_round_secs vs net_pipe_round_secs for the networked
+// loopback run under both schedules). BENCH_scalability.json at the repo
+// root records the sweep per commit (`make bench` regenerates it; CI
+// uploads a fresh one as an artifact).
 package main
 
 import (

@@ -16,9 +16,13 @@
 // In -selftest mode the binary spins up a coordinator on a loopback
 // listener, joins -participants in-process participants over real HTTP, and
 // requires the resulting history to be bitwise-identical to fed.Trainer on
-// the same split — once fault-free and once under a FaultPlan whose dropouts
-// and truncations travel through the transport. It exits non-zero on any
-// divergence, making it a one-command end-to-end smoke test.
+// the same split — fault-free and under a FaultPlan whose dropouts and
+// truncations travel through the transport, each driven once through the
+// pipelined round engine (next cohort announced early, dispersals pushed)
+// and once through the serialized SequentialRounds baseline. All four
+// networked histories must match the sequential in-process reference. It
+// exits non-zero on any divergence, making it a one-command end-to-end
+// smoke test.
 package main
 
 import (
@@ -48,6 +52,7 @@ func main() {
 		workers      = flag.Int("workers", 0, "server worker pool (0 = GOMAXPROCS)")
 		wait         = flag.Int("wait", 1, "participants to wait for before starting rounds")
 		deadline     = flag.Duration("deadline", 0, "per-round straggler deadline (0 = wait forever)")
+		sequential   = flag.Bool("sequential", false, "serialized round schedule (disable cross-round pipelining)")
 		selftest     = flag.Bool("selftest", false, "run the loopback bitwise verification and exit")
 		participants = flag.Int("participants", 2, "participant processes in -selftest mode")
 	)
@@ -78,6 +83,7 @@ func main() {
 	}
 	cfg.Workers = *workers
 	cfg.EvalWorkers = *workers
+	cfg.SequentialRounds = *sequential
 
 	sp := data.StreamSplit(p, *seed, *frac)
 	c, err := coord.New(sp, cfg, coord.Options{
@@ -151,9 +157,12 @@ func selftestConfig() fed.Config {
 	return cfg
 }
 
-// runSelftest verifies the loopback bitwise contract over real HTTP: clean
-// run first, then a faulted run whose dropouts and truncations cross the
-// transport as empty bodies and cut streams.
+// runSelftest verifies the loopback bitwise contract over real HTTP: a clean
+// run and a faulted run whose dropouts and truncations cross the transport
+// as empty bodies and cut streams, each through the pipelined round engine
+// and the serialized SequentialRounds baseline. Every networked history must
+// match the sequential in-process reference bit for bit — pinning schedule
+// invariance and transport fidelity in one sweep.
 func runSelftest(participants int) error {
 	const seed, frac = 42, 0.2
 	if participants < 1 {
@@ -170,7 +179,9 @@ func runSelftest(participants int) error {
 		cfg.Faults = tc.faults
 
 		sp := data.StreamSplit(data.Tiny, seed, frac)
-		ref, err := fed.NewTrainer(sp, cfg)
+		rcfg := cfg
+		rcfg.SequentialRounds = true
+		ref, err := fed.NewTrainer(sp, rcfg)
 		if err != nil {
 			return err
 		}
@@ -179,58 +190,77 @@ func runSelftest(participants int) error {
 			return err
 		}
 
-		c, err := coord.New(data.StreamSplit(data.Tiny, seed, frac), cfg, coord.Options{
-			Profile:  data.Tiny.Name,
-			DataSeed: seed,
-			TestFrac: frac,
-		})
-		if err != nil {
-			return err
-		}
-		ln, err := net.Listen("tcp", "127.0.0.1:0")
-		if err != nil {
-			return err
-		}
-		srv := &http.Server{Handler: c.Handler()}
-		go srv.Serve(ln)
-
-		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
-		base := "http://" + ln.Addr().String()
-		errCh := make(chan error, participants)
-		per := (sp.NumUsers + participants - 1) / participants
-		for i := 0; i < participants; i++ {
-			lo, hi := i*per, (i+1)*per
-			if hi > sp.NumUsers {
-				hi = sp.NumUsers
+		for _, sequential := range []bool{false, true} {
+			mode := "pipelined"
+			if sequential {
+				mode = "sequential"
 			}
-			p, err := coord.Join(base, lo, hi, nil)
+			label := tc.name + "/" + mode
+			ncfg := cfg
+			ncfg.SequentialRounds = sequential
+			got, err := runSelftestNetworked(ncfg, seed, frac, participants)
 			if err != nil {
-				cancel()
-				srv.Close()
-				return fmt.Errorf("%s: join [%d, %d): %w", tc.name, lo, hi, err)
+				return fmt.Errorf("%s: %w", label, err)
 			}
-			go func() { errCh <- p.Run(ctx) }()
-		}
-		got, err := c.Run(ctx)
-		if err == nil {
-			for i := 0; i < participants; i++ {
-				if perr := <-errCh; perr != nil && err == nil {
-					err = perr
-				}
+			if err := equalHistories(want, got); err != nil {
+				return fmt.Errorf("%s: networked history diverged: %w", label, err)
 			}
+			fmt.Printf("ptfserve: selftest %s: %d rounds over %d participants match bitwise\n",
+				label, len(got.Rounds), participants)
 		}
-		cancel()
-		srv.Close()
-		if err != nil {
-			return fmt.Errorf("%s: %w", tc.name, err)
-		}
-		if err := equalHistories(want, got); err != nil {
-			return fmt.Errorf("%s: networked history diverged: %w", tc.name, err)
-		}
-		fmt.Printf("ptfserve: selftest %s: %d rounds over %d participants match bitwise\n",
-			tc.name, len(got.Rounds), participants)
 	}
 	return nil
+}
+
+// runSelftestNetworked drives one training run through the coordinator on a
+// loopback listener with participants splitting the user universe evenly.
+func runSelftestNetworked(cfg fed.Config, seed uint64, frac float64, participants int) (*fed.History, error) {
+	sp := data.StreamSplit(data.Tiny, seed, frac)
+	c, err := coord.New(sp, cfg, coord.Options{
+		Profile:  data.Tiny.Name,
+		DataSeed: seed,
+		TestFrac: frac,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: c.Handler()}
+	go srv.Serve(ln)
+	defer srv.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	base := "http://" + ln.Addr().String()
+	errCh := make(chan error, participants)
+	per := (sp.NumUsers + participants - 1) / participants
+	for i := 0; i < participants; i++ {
+		lo, hi := i*per, (i+1)*per
+		if hi > sp.NumUsers {
+			hi = sp.NumUsers
+		}
+		p, err := coord.Join(base, lo, hi, nil)
+		if err != nil {
+			return nil, fmt.Errorf("join [%d, %d): %w", lo, hi, err)
+		}
+		go func() { errCh <- p.Run(ctx) }()
+	}
+	got, err := c.Run(ctx)
+	if err != nil {
+		cancel() // unblock participants before draining their errors
+	}
+	for i := 0; i < participants; i++ {
+		if perr := <-errCh; perr != nil && err == nil {
+			err = perr
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	return got, nil
 }
 
 // equalHistories compares two training traces with bitwise float equality.

@@ -1,0 +1,7 @@
+//go:build race
+
+package comm
+
+// raceEnabled is true under the race detector, whose instrumentation
+// allocates and would break the exact-zero alloc pins.
+const raceEnabled = true

@@ -125,8 +125,14 @@ func AppendFrame(dst []byte, t MsgType, payload []byte) []byte {
 }
 
 // WriteFrame writes one framed message, returning the bytes put on the wire.
+// The frame is staged in a pooled buffer so one Write reaches the wire per
+// frame without a per-call allocation.
 func WriteFrame(w io.Writer, t MsgType, payload []byte) (int, error) {
-	return w.Write(AppendFrame(nil, t, payload))
+	b := GetFrameBuffer()
+	b.Append(t, payload)
+	n, err := w.Write(b.buf)
+	PutFrameBuffer(b)
+	return n, err
 }
 
 // ReadFrame reads one framed message, validating magic, version, type, and

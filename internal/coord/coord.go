@@ -51,7 +51,18 @@ type Options struct {
 	// announcement. Zero waits forever. When it expires the round closes
 	// with the stragglers counted as dropped.
 	Deadline time.Duration
+
+	// PendingDispersals bounds the retention store for undelivered
+	// dispersals (users nobody currently hosts, or hosts that fell rounds
+	// behind): at most this many users keep their latest undelivered D̃ᵢ,
+	// evicted oldest-stash-first. Retained dispersals are flushed into a
+	// session's event log when the user's host joins or at the next
+	// round-start announcement. 0 means DefaultPendingDispersals.
+	PendingDispersals int
 }
+
+// DefaultPendingDispersals is the default Options.PendingDispersals budget.
+const DefaultPendingDispersals = 4096
 
 // session is one registered participant process hosting users [lo, hi).
 type session struct {
@@ -78,7 +89,15 @@ type roundState struct {
 
 	stats       fed.RoundStats
 	dispersals  []fed.Dispersal
+	delivered   []bool // per-dispersal: reached a session log or the retention store
 	resultReady chan struct{}
+}
+
+// pendingDisp is one user's latest undelivered dispersal, retained after its
+// round left the live window.
+type pendingDisp struct {
+	round   int
+	payload []byte
 }
 
 // Coordinator serves the PTF-FedRec server side over HTTP: participant
@@ -97,6 +116,12 @@ type Coordinator struct {
 	nextToken uint64
 	rounds    map[int]*roundState
 	down      bool // run finished; new joins get an immediate shutdown
+
+	// pending retains each user's latest undelivered dispersal (bounded by
+	// Options.PendingDispersals); pendingQ records stash order for eviction.
+	pending  map[int]pendingDisp
+	pendingQ []int
+	codec    comm.Codec
 
 	// wireIn/wireOut count every frame byte crossing the HTTP boundary —
 	// the transport-level complement of the engine's protocol-level Meter.
@@ -123,6 +148,8 @@ func New(sp *data.Split, cfg fed.Config, opts Options) (*Coordinator, error) {
 		configJSON: cfgJSON,
 		sessions:   make(map[uint64]*session),
 		rounds:     make(map[int]*roundState),
+		pending:    make(map[int]pendingDisp),
+		codec:      comm.CodecFor(cfg.QuantizeScores),
 	}, nil
 }
 
@@ -161,7 +188,19 @@ func (c *Coordinator) Handler() http.Handler {
 // have joined, then evaluates, broadcasts shutdown, and returns the history.
 // The history is bitwise-identical to fed.Trainer.Run on the same (split,
 // config) when every user is hosted and no transport faults strike.
+//
+// By default the schedule is pipelined: round r+1's cohort is announced while
+// round r is still collecting uploads (Select is a pure function of the
+// seed), and round r's dispersals plus its round-end marker are pushed into
+// the sessions' poll logs at close instead of waiting for /v1/result — so a
+// participant's dependency-free clients train during round r's straggler
+// window, and one long-poll round trip plus the server phase leave the
+// networked critical path. Config.SequentialRounds retains the serialized
+// schedule (announce, wait, close, publish, repeat) as the timing baseline;
+// histories are bitwise-identical either way because uploads are absorbed in
+// cohort slot order regardless of arrival order.
 func (c *Coordinator) Run(ctx context.Context) (*fed.History, error) {
+	pipelined := !c.cfg.SequentialRounds
 	h := &fed.History{}
 	evaluator := func() *eval.Evaluator {
 		if c.evaluator == nil {
@@ -169,8 +208,21 @@ func (c *Coordinator) Run(ctx context.Context) (*fed.History, error) {
 		}
 		return c.evaluator
 	}
+	// ahead queues announced-but-unclosed rounds in order: the pipeline keeps
+	// one round announced beyond the one being collected.
+	var ahead []*roundState
+	announce := func(round int) {
+		if round < c.cfg.Rounds {
+			ahead = append(ahead, c.openRound(round, c.engine.Select(round)))
+		}
+	}
+	announce(0)
+	if pipelined {
+		announce(1)
+	}
 	for round := 0; round < c.cfg.Rounds; round++ {
-		rs := c.openRound(round, c.engine.Select(round))
+		rs := ahead[0]
+		ahead = ahead[1:]
 		if err := c.waitRound(ctx, rs); err != nil {
 			return nil, err
 		}
@@ -179,13 +231,14 @@ func (c *Coordinator) Run(ctx context.Context) (*fed.History, error) {
 			res := c.engine.Evaluate(evaluator())
 			stats.Recall, stats.NDCG, stats.Evaluated = res.Recall, res.NDCG, true
 		}
-		c.mu.Lock()
-		rs.stats = stats
-		rs.dispersals = dispersals
-		close(rs.resultReady)
-		c.mu.Unlock()
+		c.publishRound(rs, stats, dispersals, pipelined)
 		h.Rounds = append(h.Rounds, stats)
 		h.MeanAttackF1 += stats.AttackF1
+		if pipelined {
+			announce(round + 2)
+		} else {
+			announce(round + 1)
+		}
 	}
 	if len(h.Rounds) > 0 {
 		h.MeanAttackF1 /= float64(len(h.Rounds))
@@ -199,6 +252,103 @@ func (c *Coordinator) Run(ctx context.Context) (*fed.History, error) {
 	}
 	c.mu.Unlock()
 	return h, nil
+}
+
+// publishRound stores the round's result and wakes /v1/result waiters. Under
+// the pipelined schedule (push) it also delivers: each dispersal is appended
+// to its host session's event log (or retained for an absent host), and every
+// session gets the round-end marker that releases its dispersal-gated
+// clients — participants never call /v1/result.
+func (c *Coordinator) publishRound(rs *roundState, stats fed.RoundStats, dispersals []fed.Dispersal, push bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	rs.stats = stats
+	rs.dispersals = dispersals
+	rs.delivered = make([]bool, len(dispersals))
+	if push {
+		for i, d := range dispersals {
+			rs.delivered[i] = true // reaches a log or the retention store now
+			s := c.sessionForLocked(d.ID)
+			if s == nil {
+				c.stashPendingLocked(rs.round, d)
+				continue
+			}
+			c.announceLocked(s, comm.AppendFrame(nil, comm.MsgDisperse, comm.EncodeDisperse(comm.Disperse{
+				User:    d.ID,
+				Codec:   c.codec,
+				Payload: d.Payload,
+			})))
+		}
+		end := comm.AppendFrame(nil, comm.MsgRoundEnd, comm.EncodeRound(rs.round))
+		for _, s := range c.sessions {
+			c.announceLocked(s, end)
+		}
+	}
+	close(rs.resultReady)
+}
+
+// stashPendingLocked retains a user's undelivered dispersal, newest
+// superseding older, evicting the oldest-stashed user past the budget.
+// c.mu held.
+func (c *Coordinator) stashPendingLocked(round int, d fed.Dispersal) {
+	limit := c.opts.PendingDispersals
+	if limit <= 0 {
+		limit = DefaultPendingDispersals
+	}
+	if _, ok := c.pending[d.ID]; ok {
+		c.pending[d.ID] = pendingDisp{round: round, payload: d.Payload}
+		return
+	}
+	for len(c.pending) >= limit && len(c.pendingQ) > 0 {
+		u := c.pendingQ[0]
+		c.pendingQ = c.pendingQ[1:]
+		if _, live := c.pending[u]; live {
+			delete(c.pending, u)
+			break
+		}
+		// Stale queue entry (that user's dispersal was since flushed): keep
+		// popping until a live one is evicted.
+	}
+	c.pending[d.ID] = pendingDisp{round: round, payload: d.Payload}
+	c.pendingQ = append(c.pendingQ, d.ID)
+}
+
+// flushPendingLocked moves every retained dispersal the session hosts into
+// its event log. Delivery order across users is irrelevant (distinct
+// clients); a client sees its newest available D̃ᵢ, exactly what late
+// delivery means. c.mu held.
+func (c *Coordinator) flushPendingLocked(s *session) {
+	if len(c.pending) == 0 {
+		return
+	}
+	for u, pd := range c.pending {
+		if u < s.lo || u >= s.hi {
+			continue
+		}
+		c.announceLocked(s, comm.AppendFrame(nil, comm.MsgDisperse, comm.EncodeDisperse(comm.Disperse{
+			User:    u,
+			Codec:   c.codec,
+			Payload: pd.payload,
+		})))
+		delete(c.pending, u)
+	}
+}
+
+// pruneRoundLocked drops a round from the live tail, moving any dispersal
+// that never reached a session log into the retention store — a host that
+// fell this far behind still gets its users' latest D̃ᵢ on its next
+// announcement instead of silently losing it. c.mu held.
+func (c *Coordinator) pruneRoundLocked(round int) {
+	rs := c.rounds[round]
+	if rs == nil {
+		return
+	}
+	for i, d := range rs.dispersals {
+		if !rs.delivered[i] {
+			c.stashPendingLocked(round, d)
+		}
+	}
+	delete(c.rounds, round)
 }
 
 // openRound binds the selected cohort to outcome slots, announces the round
@@ -230,9 +380,11 @@ func (c *Coordinator) openRound(round int, users []int) *roundState {
 	}
 	c.rounds[round] = rs
 	// Keep a short tail of closed rounds so a participant one round behind
-	// can still fetch its dispersals.
-	delete(c.rounds, round-3)
+	// can still fetch its dispersals; anything undelivered moves to the
+	// bounded retention store instead of vanishing.
+	c.pruneRoundLocked(round - 3)
 	for _, s := range c.sessions {
+		c.flushPendingLocked(s)
 		hosted := make([]int, 0, 8)
 		for _, u := range users {
 			if s.lo <= u && u < s.hi {
@@ -396,10 +548,13 @@ func (c *Coordinator) handleJoin(w http.ResponseWriter, r *http.Request) {
 	}
 	c.nextToken++
 	s := &session{token: c.nextToken, lo: j.UserLo, hi: j.UserHi, wake: make(chan struct{})}
+	c.sessions[s.token] = s
+	// A joining host immediately receives any retained dispersals for its
+	// range — users whose D̃ᵢ outlived their round while nobody hosted them.
+	c.flushPendingLocked(s)
 	if c.down {
 		s.events = append(s.events, comm.AppendFrame(nil, comm.MsgShutdown, nil))
 	}
-	c.sessions[s.token] = s
 	c.mu.Unlock()
 	c.writeFrame(w, comm.MsgJoinAck, comm.EncodeJoinAck(comm.JoinAck{
 		Token:      s.token,
@@ -622,17 +777,26 @@ func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
 	case <-r.Context().Done():
 		return
 	}
-	// dispersals is immutable once resultReady closes.
-	codec := comm.CodecFor(c.cfg.QuantizeScores)
-	for _, d := range rs.dispersals {
+	// dispersals is immutable once resultReady closes; the delivered marks
+	// are set under the lock (pruneRoundLocked reads them) and the frames
+	// written outside it.
+	c.mu.Lock()
+	var frames [][]byte
+	for i, d := range rs.dispersals {
 		if d.ID < s.lo || d.ID >= s.hi {
 			continue
 		}
-		c.writeFrame(w, comm.MsgDisperse, comm.EncodeDisperse(comm.Disperse{
+		rs.delivered[i] = true
+		frames = append(frames, comm.AppendFrame(nil, comm.MsgDisperse, comm.EncodeDisperse(comm.Disperse{
 			User:    d.ID,
-			Codec:   codec,
+			Codec:   c.codec,
 			Payload: d.Payload,
-		}))
+		})))
+	}
+	c.mu.Unlock()
+	for _, f := range frames {
+		n, _ := w.Write(f)
+		c.wireOut.Add(int64(n))
 	}
 	c.writeFrame(w, comm.MsgRoundEnd, comm.EncodeRound(int(round)))
 }

@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 	"strings"
+	"sync"
 
 	"ptffedrec/internal/comm"
 	"ptffedrec/internal/data"
@@ -98,9 +99,26 @@ func Join(base string, lo, hi int, hc *http.Client) (*Participant, error) {
 // Token returns the session token the coordinator assigned.
 func (p *Participant) Token() uint64 { return p.token }
 
-// Run processes announcements until shutdown: every RoundStart runs the
-// hosted slice of the cohort and fetches the round's dispersals.
+// Run processes announcements until shutdown. Under the default pipelined
+// schedule the coordinator pushes dispersals and round-end markers into the
+// poll stream and announces round r+1 during round r's collection; the
+// participant starts each announced round's dependency-free clients
+// immediately and holds the dispersal-gated ones (those in the previous
+// cohort) until the previous round's end marker. Under Config.SequentialRounds
+// every RoundStart runs the full hosted slice and fetches the round's
+// dispersals over /v1/result.
 func (p *Participant) Run(ctx context.Context) error {
+	if p.cfg.SequentialRounds {
+		return p.runSequential(ctx)
+	}
+	return p.runPipelined(ctx)
+}
+
+// runSequential is the serialized schedule: train every hosted client of the
+// announced round, then fetch its dispersals. Stray MsgDisperse events in the
+// poll stream (the retention store flushing a previously-unhosted user's D̃ᵢ)
+// are delivered in place.
+func (p *Participant) runSequential(ctx context.Context) error {
 	after := 0
 	for {
 		frames, err := p.poll(ctx, after)
@@ -118,6 +136,15 @@ func (p *Participant) Run(ctx context.Context) error {
 					return err
 				}
 				after++
+			case comm.MsgDisperse:
+				if err := p.deliver(f.payload); err != nil {
+					return err
+				}
+				after++
+			case comm.MsgRoundEnd:
+				// Only the pipelined coordinator pushes these; tolerate and
+				// advance past one in the log.
+				after++
 			case comm.MsgShutdown:
 				p.leave(ctx)
 				return nil
@@ -130,6 +157,186 @@ func (p *Participant) Run(ctx context.Context) error {
 			}
 		}
 	}
+}
+
+// wave is one in-flight hosted training wave. Later waves order themselves
+// behind earlier-round waves that could still be training a shared user (a
+// straggler past a deadline-closed round).
+type wave struct {
+	round int
+	done  chan struct{}
+}
+
+// runPipelined is the event-driven schedule. Per announced round the hosted
+// cohort splits into a free wave (users not in the previous cohort — no
+// inbound dispersal, train immediately, overlapping the coordinator's close
+// of the previous round) and a gated wave (users in the previous cohort —
+// train once the previous round's pushed dispersals and end marker arrive).
+// The coordinator orders each session's log as RS(r), RS(r+1), D(r)…, RE(r),
+// RS(r+2), … so at most one gated wave is ever outstanding.
+func (p *Participant) runPipelined(ctx context.Context) error {
+	after := 0
+	var wg sync.WaitGroup
+	errCh := make(chan error, 1)
+	record := func(err error) {
+		if err != nil {
+			select {
+			case errCh <- err:
+			default:
+			}
+		}
+	}
+	firstErr := func() error {
+		select {
+		case err := <-errCh:
+			return err
+		default:
+			return nil
+		}
+	}
+
+	// Wave ordering: a wave for round R must not overlap an earlier wave
+	// still training one of its users. Free users of round R sat out round
+	// R-1 but may sit in any older cohort, so they wait for waves of rounds
+	// ≤ R-2; gated users sit in cohort(R-1), so they wait for rounds ≤ R-1.
+	// In the normal schedule those waves finished long ago (their uploads
+	// resolved before the dependency round closed) — the ordering only bites
+	// when a deadline cut a round loose while its clients were mid-training.
+	var waves []wave
+	launch := func(round int, users []int, waitBelow int) {
+		if len(users) == 0 {
+			return
+		}
+		var deps []chan struct{}
+		kept := waves[:0]
+		for _, w := range waves {
+			select {
+			case <-w.done:
+				continue // finished; forget it
+			default:
+			}
+			if w.round <= waitBelow {
+				deps = append(deps, w.done)
+			}
+			kept = append(kept, w)
+		}
+		done := make(chan struct{})
+		waves = append(kept, wave{round: round, done: done})
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer close(done)
+			for _, d := range deps {
+				<-d
+			}
+			record(p.runUsers(ctx, round, users))
+		}()
+	}
+
+	prevRound := -1
+	prevUsers := map[int]bool{}
+	endedThrough := -1
+	gatedRound := -1
+	var gatedUsers []int
+
+	for {
+		if err := firstErr(); err != nil {
+			wg.Wait()
+			return err
+		}
+		frames, err := p.poll(ctx, after)
+		if err != nil {
+			wg.Wait()
+			return err
+		}
+		for _, f := range frames {
+			switch f.mt {
+			case comm.MsgRoundStart:
+				rs, err := comm.DecodeRoundStart(f.payload)
+				if err != nil {
+					wg.Wait()
+					return err
+				}
+				var free, gated []int
+				if rs.Round-1 == prevRound && endedThrough < prevRound {
+					for _, u := range rs.Users {
+						if prevUsers[u] {
+							gated = append(gated, u)
+						} else {
+							free = append(free, u)
+						}
+					}
+				} else {
+					// First announcement, or the previous round already
+					// ended: every hosted client is dependency-free.
+					free = rs.Users
+				}
+				launch(rs.Round, free, rs.Round-2)
+				if len(gated) > 0 {
+					gatedRound, gatedUsers = rs.Round, gated
+				}
+				prevRound = rs.Round
+				prevUsers = make(map[int]bool, len(rs.Users))
+				for _, u := range rs.Users {
+					prevUsers[u] = true
+				}
+				after++
+			case comm.MsgDisperse:
+				// Pushed deliveries land on the event loop; the target's own
+				// training for the dispersal's round has finished (its upload
+				// produced the dispersal) and in-flight waves only touch
+				// other users' clients.
+				if err := p.deliver(f.payload); err != nil {
+					wg.Wait()
+					return err
+				}
+				after++
+			case comm.MsgRoundEnd:
+				r, err := comm.DecodeRound(f.payload)
+				if err != nil {
+					wg.Wait()
+					return err
+				}
+				if r > endedThrough {
+					endedThrough = r
+				}
+				if gatedRound == r+1 {
+					launch(gatedRound, gatedUsers, r)
+					gatedRound, gatedUsers = -1, nil
+				}
+				after++
+			case comm.MsgShutdown:
+				wg.Wait()
+				p.leave(ctx)
+				return firstErr()
+			case comm.MsgAck:
+				// Heartbeat: re-poll with the same cursor.
+			case comm.MsgError:
+				wg.Wait()
+				return fmt.Errorf("coord: poll: %s", f.payload)
+			default:
+				wg.Wait()
+				return fmt.Errorf("coord: unexpected %v frame from poll", f.mt)
+			}
+		}
+	}
+}
+
+// deliver decodes one pushed dispersal and hands it to the hosted client.
+func (p *Participant) deliver(payload []byte) error {
+	d, err := comm.DecodeDisperse(payload)
+	if err != nil {
+		return err
+	}
+	if d.User < p.lo || d.User >= p.hi {
+		return fmt.Errorf("coord: dispersal for user %d outside hosted range [%d, %d)", d.User, p.lo, p.hi)
+	}
+	preds, err := d.Codec.Decode(d.Payload)
+	if err != nil {
+		return err
+	}
+	p.host.Deliver(d.User, preds)
+	return nil
 }
 
 type frame struct {
@@ -167,36 +374,49 @@ func (p *Participant) poll(ctx context.Context, after int) ([]frame, error) {
 // fetch. Each worker touches only its own user's client, exactly like the
 // in-process trainer's round loop.
 func (p *Participant) runRound(ctx context.Context, rs comm.RoundStart) error {
+	if err := p.runUsers(ctx, rs.Round, rs.Users); err != nil {
+		return err
+	}
+	return p.fetchResult(ctx, rs.Round)
+}
+
+// runUsers trains and uploads the listed hosted users for one round on the
+// configured worker pool.
+func (p *Participant) runUsers(ctx context.Context, round int, users []int) error {
 	workers := par.Workers(p.cfg.Workers)
-	errs := make([]error, len(rs.Users))
-	par.For(len(rs.Users), workers, func(i int) {
-		res := p.host.RunClientRound(rs.Round, rs.Users[i])
-		errs[i] = p.upload(ctx, rs.Round, res)
+	errs := make([]error, len(users))
+	par.For(len(users), workers, func(i int) {
+		res := p.host.RunClientRound(round, users[i])
+		errs[i] = p.upload(ctx, round, res)
 	})
 	for _, err := range errs {
 		if err != nil {
 			return err
 		}
 	}
-	return p.fetchResult(ctx, rs.Round)
+	return nil
 }
 
 // upload posts one user's round result as a frame stream. A host-level
 // dropout becomes an empty body (connection drop); a truncation sends the
 // transmitted prefix and omits the end frame (short write).
 func (p *Participant) upload(ctx context.Context, round int, res fed.ClientRoundResult) error {
-	var body bytes.Buffer
+	// The body builds into a pooled frame buffer: a participant's steady
+	// state is one of these per client per round, and the pool keeps that
+	// allocation-free once warm. The buffer is returned only after the
+	// response is fully handled — the HTTP client may re-read the request
+	// body for a retry.
+	body := comm.GetFrameBuffer()
+	defer comm.PutFrameBuffer(body)
 	if !res.Dropped {
-		if _, err := comm.WriteFrame(&body, comm.MsgUploadBegin, comm.EncodeUploadBegin(comm.UploadBegin{
+		body.Append(comm.MsgUploadBegin, comm.EncodeUploadBegin(comm.UploadBegin{
 			Round:    round,
 			User:     res.ID,
 			Codec:    p.codec,
 			Count:    len(res.Preds),
 			Loss:     res.Loss,
 			AttackF1: res.AttackF1,
-		})); err != nil {
-			return err
-		}
+		}))
 		payload := res.WirePayload()
 		chunkBytes := uploadChunkPreds * p.codec.WireSize()
 		for off := 0; off < len(payload); off += chunkBytes {
@@ -204,14 +424,10 @@ func (p *Participant) upload(ctx context.Context, round int, res fed.ClientRound
 			if end > len(payload) {
 				end = len(payload)
 			}
-			if _, err := comm.WriteFrame(&body, comm.MsgUploadChunk, payload[off:end]); err != nil {
-				return err
-			}
+			body.Append(comm.MsgUploadChunk, payload[off:end])
 		}
 		if res.SendPreds == len(res.Preds) {
-			if _, err := comm.WriteFrame(&body, comm.MsgUploadEnd, nil); err != nil {
-				return err
-			}
+			body.Append(comm.MsgUploadEnd, nil)
 		}
 	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost,

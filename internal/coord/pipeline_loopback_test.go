@@ -1,0 +1,314 @@
+package coord
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"ptffedrec/internal/comm"
+	"ptffedrec/internal/fed"
+	"ptffedrec/internal/models"
+)
+
+// TestLoopbackBitwiseSequentialMode pins the retained baseline schedule over
+// the wire: with Config.SequentialRounds both halves fall back to the
+// serialized announce/wait/close/publish loop and the /v1/result fetch, and
+// the history still matches the (sequential) in-process trainer bitwise.
+// Together with TestLoopbackBitwise — which runs the pipelined default on
+// both sides — and the in-process pipelined-vs-sequential invariance suite,
+// this closes the loop: all four schedule/transport combinations produce one
+// history.
+func TestLoopbackBitwiseSequentialMode(t *testing.T) {
+	cfg := testConfig(models.KindLightGCN, 4)
+	cfg.SequentialRounds = true
+	ref := referenceHistory(t, cfg)
+	h, _ := runNetworked(t, cfg, testOptions(), [][2]int{{0, 20}, {20, 40}})
+	requireEqualHistories(t, "sequential-mode loopback", ref, h)
+}
+
+// TestLoopbackBitwisePartialFraction exercises the pipeline's free wave over
+// the wire: partial participation makes cohorts differ round to round, so
+// each announced round has dependency-free clients that train during the
+// previous round's window, plus dispersal-gated ones held for the pushed
+// round-end. The networked history must still match the pipelined in-process
+// run bitwise, clean and faulted.
+func TestLoopbackBitwisePartialFraction(t *testing.T) {
+	defer func(old int) { uploadChunkPreds = old }(uploadChunkPreds)
+	uploadChunkPreds = 3
+
+	for _, faulted := range []bool{false, true} {
+		cfg := testConfig(models.KindNeuMF, 4)
+		cfg.Rounds = 4
+		cfg.ClientFraction = 0.4
+		if faulted {
+			cfg.Faults = fed.FaultPlan{DropoutRate: 0.25, TruncateRate: 0.4}
+		}
+		ref := referenceHistory(t, cfg)
+		h, _ := runNetworked(t, cfg, testOptions(), [][2]int{{0, 15}, {15, 40}})
+		label := "partial-fraction loopback"
+		if faulted {
+			label += " (faulted)"
+		}
+		requireEqualHistories(t, label, ref, h)
+	}
+}
+
+// decodeSessionDisperses parses a session's event log, returning the users of
+// every MsgDisperse frame in order.
+func decodeSessionDisperses(t *testing.T, s *session) []int {
+	t.Helper()
+	var users []int
+	for _, frame := range s.events {
+		mt, payload, err := comm.ReadFrame(bytes.NewReader(frame))
+		if err != nil {
+			t.Fatalf("event frame: %v", err)
+		}
+		if mt != comm.MsgDisperse {
+			continue
+		}
+		d, err := comm.DecodeDisperse(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		users = append(users, d.User)
+	}
+	return users
+}
+
+// TestPendingDispersalStore unit-tests the bounded retention store: newest
+// payload supersedes per user, the oldest-stashed user is evicted past the
+// budget, pruning a round stashes exactly its undelivered dispersals, and a
+// flush moves a session's hosted range into its event log.
+func TestPendingDispersalStore(t *testing.T) {
+	cfg := testConfig(models.KindMF, 1)
+	opts := testOptions()
+	opts.PendingDispersals = 2
+	c, err := New(testSplit(), cfg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Payloads must be stride-valid for the codec so a flush's MsgDisperse
+	// frames decode.
+	stride := comm.CodecFor(cfg.QuantizeScores).WireSize()
+	pay := func(b byte) []byte { return bytes.Repeat([]byte{b}, stride) }
+	c.mu.Lock()
+	c.stashPendingLocked(0, fed.Dispersal{ID: 1, Payload: pay(1)})
+	c.stashPendingLocked(0, fed.Dispersal{ID: 2, Payload: pay(2)})
+	c.stashPendingLocked(1, fed.Dispersal{ID: 3, Payload: pay(3)}) // evicts user 1
+	c.stashPendingLocked(2, fed.Dispersal{ID: 2, Payload: pay(9)}) // supersedes in place
+	c.mu.Unlock()
+
+	if _, ok := c.pending[1]; ok {
+		t.Fatal("user 1 should have been evicted (oldest stash)")
+	}
+	if got := c.pending[2]; got.round != 2 || !bytes.Equal(got.payload, pay(9)) {
+		t.Fatalf("user 2 retention = round %d payload %v, want the superseding round-2 payload", got.round, got.payload)
+	}
+	if len(c.pending) != 2 {
+		t.Fatalf("retention holds %d users, want 2 (budget)", len(c.pending))
+	}
+
+	// Pruning a round stashes only its undelivered dispersals, and the
+	// budget still holds: retaining user 5 evicts user 2 (oldest stash).
+	rs := &roundState{
+		round:      7,
+		dispersals: []fed.Dispersal{{ID: 5, Payload: pay(5)}, {ID: 6, Payload: pay(6)}},
+		delivered:  []bool{false, true},
+	}
+	c.mu.Lock()
+	c.rounds[7] = rs
+	c.pruneRoundLocked(7)
+	c.mu.Unlock()
+	if c.rounds[7] != nil {
+		t.Fatal("pruned round still live")
+	}
+	if _, ok := c.pending[5]; !ok {
+		t.Fatal("undelivered dispersal for user 5 was not retained on prune")
+	}
+	if _, ok := c.pending[6]; ok {
+		t.Fatal("delivered dispersal for user 6 must not be retained")
+	}
+	if _, ok := c.pending[2]; ok {
+		t.Fatal("user 2 should have been evicted to keep the prune stash within budget")
+	}
+	if len(c.pending) != 2 {
+		t.Fatalf("retention holds %d users after prune, want 2 (budget)", len(c.pending))
+	}
+
+	// Flushing a session delivers its hosted range — [0,5) covers user 3
+	// but not user 5 — and leaves the rest retained.
+	s := &session{lo: 0, hi: 5, wake: make(chan struct{})}
+	c.mu.Lock()
+	c.flushPendingLocked(s)
+	c.mu.Unlock()
+	if got := decodeSessionDisperses(t, s); len(got) != 1 || got[0] != 3 {
+		t.Fatalf("flush delivered users %v, want exactly [3]", got)
+	}
+	if _, ok := c.pending[3]; ok {
+		t.Fatal("flushed dispersal still retained")
+	}
+	if _, ok := c.pending[5]; !ok {
+		t.Fatal("out-of-range retention for user 5 should have survived the flush")
+	}
+}
+
+// TestLateJoinReceivesRetainedDispersals is the satellite's end-to-end case:
+// a host uploads its users' round and leaves before the round's dispersals
+// are published, so the coordinator has responders with no session to push
+// to. The dispersals must land in the retention store instead of vanishing,
+// and a host joining after the fact (even after the whole run finished)
+// receives them on its first poll, ahead of the shutdown notice.
+func TestLateJoinReceivesRetainedDispersals(t *testing.T) {
+	cfg := testConfig(models.KindMF, 2)
+	c, err := New(testSplit(), cfg, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
+	p, err := Join(srv.URL, 0, 40, srv.Client())
+	if err != nil {
+		t.Fatal(err)
+	}
+	runDone := make(chan error, 1)
+	var h *fed.History
+	go func() {
+		var err error
+		h, err = c.Run(ctx)
+		runDone <- err
+	}()
+
+	// Upload round 0 for all but one user directly (no poll loop), then
+	// leave: the departure resolves the last user as dropped, the round
+	// closes and publishes with no session left to push its dispersals to.
+	users := make([]int, 39)
+	for i := range users {
+		users[i] = i
+	}
+	if err := p.runUsers(ctx, 0, users); err != nil {
+		t.Fatalf("uploads: %v", err)
+	}
+	p.leave(ctx)
+	if err := <-runDone; err != nil {
+		t.Fatalf("coordinator run: %v", err)
+	}
+	if len(h.Rounds) != cfg.Rounds {
+		t.Fatalf("run produced %d rounds, want %d", len(h.Rounds), cfg.Rounds)
+	}
+
+	c.mu.Lock()
+	retained := len(c.pending)
+	c.mu.Unlock()
+	if retained == 0 {
+		t.Fatal("publishing a round with no live sessions retained no dispersals")
+	}
+
+	// The late host's join flushes its users' retained D̃ᵢ into its event
+	// log ahead of the shutdown notice; its Run delivers them and exits.
+	late, err := Join(srv.URL, 0, 40, srv.Client())
+	if err != nil {
+		t.Fatalf("late join: %v", err)
+	}
+	if err := late.Run(ctx); err != nil {
+		t.Fatalf("late participant: %v", err)
+	}
+	c.mu.Lock()
+	left := len(c.pending)
+	c.mu.Unlock()
+	if left != 0 {
+		t.Fatalf("%d retained dispersals survived their host's join", left)
+	}
+}
+
+// TestPipelinedEventOrdering pins the session-log invariant the participant
+// relies on — round r+1's start is announced before round r's end marker, so
+// at most one gated wave is ever outstanding. A silent observer session
+// (whose users the deadline drops) keeps its full event log readable after
+// the run.
+func TestPipelinedEventOrdering(t *testing.T) {
+	cfg := testConfig(models.KindMF, 2)
+	cfg.Rounds = 3
+	opts := testOptions()
+	opts.Deadline = 500 * time.Millisecond
+
+	c, err := New(testSplit(), cfg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
+	observer, err := Join(srv.URL, 39, 40, srv.Client())
+	if err != nil {
+		t.Fatal(err)
+	}
+	worker, err := Join(srv.URL, 0, 39, srv.Client())
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- worker.Run(ctx) }()
+	if _, err := c.Run(ctx); err != nil {
+		t.Fatalf("coordinator run: %v", err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("worker participant: %v", err)
+	}
+
+	c.mu.Lock()
+	s := c.sessions[observer.Token()]
+	var events [][]byte
+	if s != nil {
+		events = append(events, s.events...)
+	}
+	c.mu.Unlock()
+	if s == nil {
+		t.Fatal("observer session vanished")
+	}
+
+	startAt := map[int]int{} // round -> event index of its RoundStart
+	endAt := map[int]int{}
+	for i, raw := range events {
+		mt, payload, err := comm.ReadFrame(bytes.NewReader(raw))
+		if err != nil {
+			t.Fatalf("event %d: %v", i, err)
+		}
+		switch mt {
+		case comm.MsgRoundStart:
+			rs, err := comm.DecodeRoundStart(payload)
+			if err != nil {
+				t.Fatal(err)
+			}
+			startAt[rs.Round] = i
+		case comm.MsgRoundEnd:
+			r, err := comm.DecodeRound(payload)
+			if err != nil {
+				t.Fatal(err)
+			}
+			endAt[r] = i
+		}
+	}
+	for r := 0; r < cfg.Rounds; r++ {
+		if _, ok := startAt[r]; !ok {
+			t.Fatalf("round %d never announced to the observer", r)
+		}
+		if _, ok := endAt[r]; !ok {
+			t.Fatalf("round %d end marker never pushed to the observer", r)
+		}
+		if r+1 < cfg.Rounds && startAt[r+1] > endAt[r] {
+			t.Fatalf("round %d announced at event %d, after round %d ended at %d — the pipeline never overlapped",
+				r+1, startAt[r+1], r, endAt[r])
+		}
+		if r > 0 && endAt[r] < endAt[r-1] {
+			t.Fatalf("round ends out of order: end(%d)=%d before end(%d)=%d", r, endAt[r], r-1, endAt[r-1])
+		}
+	}
+}

@@ -131,17 +131,37 @@ type ScalabilityResult struct {
 	OverlapConcurrentSecs float64 `json:"overlap_concurrent_secs"`
 	OverlapSpeedup        float64 `json:"overlap_speedup"`
 
+	// Cross-round pipelining: the same training at the sweep's max worker
+	// count under partial participation (fraction 0.3, so round r+1 has
+	// dependency-free clients to overlap), once through the serialized
+	// RunRound loop and once through the dependency-gated double-buffered
+	// pipeline, as paired alternating full runs (min of three per schedule,
+	// a forced GC before each) so allocator drift lands on neither side.
+	// The two histories must match bit for bit (folded into Deterministic);
+	// the speedup is what overlapping round r+1's free client wave with
+	// round r's server phases buys. On a single-core host the pipeline's
+	// overlap gate trains the free wave inline, so parity (~1x) is the
+	// honest expected result there.
+	SeqRoundSecs    float64 `json:"seq_round_secs"`
+	PipeRoundSecs   float64 `json:"pipe_round_secs"`
+	PipelineSpeedup float64 `json:"pipeline_speedup"`
+
 	// Networked round engine over a loopback transport: the same training
 	// driven through coord.Coordinator plus two coord.Participants speaking
 	// the wire protocol over real HTTP on a loopback listener, at the sweep's
 	// max worker count. The round history must match the in-process rows bit
 	// for bit (folded into Deterministic). NetRoundSecs is mean wall-clock
-	// per networked round (the run's final evaluation pass, ~eval_secs, is
-	// amortised into it); NetWireBytes is total frame bytes crossing the
-	// transport both ways. Gated to small profiles — the loopback run issues
-	// one HTTP request per upload.
-	NetRoundSecs float64 `json:"net_round_secs,omitempty"`
-	NetWireBytes int64   `json:"net_wire_bytes,omitempty"`
+	// per networked round on the serialized schedule (SequentialRounds: the
+	// announce/wait/close/fetch baseline; the run's final evaluation pass,
+	// ~eval_secs, is amortised into it); NetPipeRoundSecs is the same run
+	// under the pipelined coordinator — next round's cohort announced during
+	// the straggler window, dispersals and round-ends pushed into the poll
+	// log. NetWireBytes is total frame bytes crossing the transport both
+	// ways on the sequential run. Gated to small profiles — the loopback
+	// run issues one HTTP request per upload.
+	NetRoundSecs     float64 `json:"net_round_secs,omitempty"`
+	NetPipeRoundSecs float64 `json:"net_pipe_round_secs,omitempty"`
+	NetWireBytes     int64   `json:"net_wire_bytes,omitempty"`
 
 	// MemoryProfile marks the huge-profile mode (NumUsers ≥
 	// memoryProfileUsers): a streamed split, lazy clients, sampled
@@ -525,11 +545,69 @@ func RunScalability(o Options) (*ScalabilityResult, error) {
 		}
 	}
 
+	// Cross-round pipelining head to head: the serialized RunRound loop
+	// against the dependency-gated double-buffered pipeline, at the sweep's
+	// max worker count under partial participation (a full-participation
+	// round gates every client of round r+1 on round r's dispersals, leaving
+	// the pipeline nothing to overlap). Paired alternating full runs, min of
+	// three per schedule, a forced GC before each timed run; the histories
+	// must match bit for bit.
+	{
+		counts := scalabilityWorkerCounts()
+		pcfg := cfg
+		pcfg.Workers = counts[len(counts)-1]
+		pcfg.EvalWorkers = pcfg.Workers
+		pcfg.TrainWorkers = pcfg.Workers
+		pcfg.ClientFraction = 0.3
+		pcfg.EvalEvery = 0
+		o.logf("scalability: pipeline comparison (workers=%d, fraction=%.2f)\n", pcfg.Workers, pcfg.ClientFraction)
+		seqSecs, pipeSecs := math.Inf(1), math.Inf(1)
+		var seqRounds []fed.RoundStats
+		for g := 0; g < 3; g++ {
+			str, err := fed.NewTrainer(sp, pcfg)
+			if err != nil {
+				return nil, fmt.Errorf("scalability: %w", err)
+			}
+			runtime.GC()
+			start := time.Now()
+			rounds := make([]fed.RoundStats, 0, pcfg.Rounds)
+			for round := 0; round < pcfg.Rounds; round++ {
+				rounds = append(rounds, str.RunRound(round))
+			}
+			if t := time.Since(start).Seconds(); t < seqSecs {
+				seqSecs = t
+			}
+			ptr, err := fed.NewTrainer(sp, pcfg)
+			if err != nil {
+				return nil, fmt.Errorf("scalability: %w", err)
+			}
+			runtime.GC()
+			start = time.Now()
+			pipeRounds := ptr.RunPipelined()
+			if t := time.Since(start).Seconds(); t < pipeSecs {
+				pipeSecs = t
+			}
+			if g == 0 {
+				seqRounds = rounds
+			}
+			if !roundsEqual(seqRounds, rounds) || !roundsEqual(seqRounds, pipeRounds) {
+				res.Deterministic = false
+			}
+		}
+		res.SeqRoundSecs = seqSecs / float64(pcfg.Rounds)
+		res.PipeRoundSecs = pipeSecs / float64(pcfg.Rounds)
+		if res.PipeRoundSecs > 0 {
+			res.PipelineSpeedup = res.SeqRoundSecs / res.PipeRoundSecs
+		}
+	}
+
 	// Networked round engine: the same training once more through the
 	// coordinator service and two participants over a loopback HTTP listener,
-	// at the sweep's max worker count. One HTTP request per upload makes this
-	// O(users) requests per round, so it is gated to small profiles; the
-	// history must still match the in-process rows bit for bit.
+	// at the sweep's max worker count — first on the serialized schedule
+	// (SequentialRounds, the retained baseline), then under the pipelined
+	// coordinator. One HTTP request per upload makes this O(users) requests
+	// per round, so it is gated to small profiles; both histories must still
+	// match the in-process rows bit for bit.
 	if sp.NumUsers <= netLoopbackMaxUsers {
 		counts := scalabilityWorkerCounts()
 		ncfg := cfg
@@ -539,7 +617,8 @@ func RunScalability(o Options) (*ScalabilityResult, error) {
 		// The sweep rows time bare rounds; keep per-round evaluation out of
 		// the networked run too so the histories stay comparable.
 		ncfg.EvalEvery = 0
-		o.logf("scalability: networked loopback run (workers=%d)\n", ncfg.Workers)
+		ncfg.SequentialRounds = true
+		o.logf("scalability: networked loopback run (workers=%d, sequential)\n", ncfg.Workers)
 		netSecs, netBytes, netRounds, err := runLoopback(sp, ncfg, p, o.Seed, evaluator)
 		if err != nil {
 			return nil, fmt.Errorf("scalability: loopback: %w", err)
@@ -549,6 +628,17 @@ func RunScalability(o Options) (*ScalabilityResult, error) {
 		}
 		res.NetRoundSecs = netSecs / float64(ncfg.Rounds)
 		res.NetWireBytes = netBytes
+
+		ncfg.SequentialRounds = false
+		o.logf("scalability: networked loopback run (workers=%d, pipelined)\n", ncfg.Workers)
+		pipeSecs, _, pipeRounds, err := runLoopback(sp, ncfg, p, o.Seed, evaluator)
+		if err != nil {
+			return nil, fmt.Errorf("scalability: loopback: %w", err)
+		}
+		if !roundsEqual(refRounds, pipeRounds) {
+			res.Deterministic = false
+		}
+		res.NetPipeRoundSecs = pipeSecs / float64(ncfg.Rounds)
 	}
 	return res, nil
 }
@@ -839,9 +929,13 @@ func (r *ScalabilityResult) Print(w io.Writer) {
 	}
 	fmt.Fprintf(w, "  eval+dispersal tail: sequential %.3fs, overlapped %.3fs (%.2fx)\n",
 		r.OverlapSequentialSecs, r.OverlapConcurrentSecs, r.OverlapSpeedup)
+	if r.PipeRoundSecs > 0 {
+		fmt.Fprintf(w, "  cross-round pipeline (fraction 0.3): sequential %.3f s/round, pipelined %.3f s/round (%.2fx)\n",
+			r.SeqRoundSecs, r.PipeRoundSecs, r.PipelineSpeedup)
+	}
 	if r.NetRoundSecs > 0 {
-		fmt.Fprintf(w, "  networked loopback: %.3f s/round, %s on the wire\n",
-			r.NetRoundSecs, comm.FormatBytes(float64(r.NetWireBytes)))
+		fmt.Fprintf(w, "  networked loopback: sequential %.3f s/round, pipelined %.3f s/round, %s on the wire\n",
+			r.NetRoundSecs, r.NetPipeRoundSecs, comm.FormatBytes(float64(r.NetWireBytes)))
 	}
 	fmt.Fprintf(w, "  metrics identical across worker counts and scoring paths: %v (recall@20=%.4f ndcg@20=%.4f)\n",
 		r.Deterministic, r.Rows[0].Recall, r.Rows[0].NDCG)

@@ -161,6 +161,21 @@ type Config struct {
 	// columns and for invariance tests, mirroring DisperseScalar.
 	EvalSingleUser bool
 
+	// SequentialRounds forces Trainer.Run (and the networked coordinator's
+	// round loop) through the fully serialized schedule — round r's server
+	// phases and dispersal deliveries complete before any of round r+1's
+	// clients train — instead of the cross-round pipeline that overlaps
+	// round r+1's dependency-free client training with round r's
+	// absorb/train/disperse. Results are bitwise-identical either way: a
+	// client of round r+1 is gated on round r's dispersal delivery iff it
+	// was in round r's cohort, cohorts are pure functions of the seed
+	// (Select never consumes generator state), and every per-(round, client)
+	// stream derives from the immutable root — so training order across
+	// rounds cannot leak into results. The knob is the timing baseline (the
+	// DisperseScalar pattern) for the scalability experiment's
+	// pipe-round/pipe-spdup columns and the pipeline invariance suite.
+	SequentialRounds bool
+
 	// Faults optionally injects client dropouts and truncated uploads to
 	// exercise the protocol's robustness (zero value = no faults).
 	Faults FaultPlan

@@ -1,0 +1,77 @@
+package fed
+
+import (
+	"fmt"
+	"testing"
+
+	"ptffedrec/internal/models"
+)
+
+// pipelineConfig shapes a run that actually exercises both pipeline waves:
+// partial participation keeps cohorts changing round to round, so every
+// round has dependency-free clients (the free wave) and dispersal-gated
+// clients (the gated wave). A mid-run evaluation exercises the overlapped
+// eval inside the pipelined close.
+func pipelineConfig(server models.Kind, workers int, faulted bool) Config {
+	cfg := fastConfig(server)
+	cfg.Rounds = 4
+	cfg.ClientFraction = 0.3
+	cfg.EvalEvery = 2
+	cfg.Workers = workers
+	cfg.EvalWorkers = workers
+	cfg.TrainWorkers = workers
+	if faulted {
+		cfg.Faults = FaultPlan{DropoutRate: 0.2, TruncateRate: 0.25}
+	}
+	return cfg
+}
+
+// TestPipelinedMatchesSequential pins the tentpole invariant: the cross-round
+// pipelined schedule produces a History bitwise-identical to the serialized
+// Config.SequentialRounds baseline, across every model kind, worker count,
+// and fault plan. The dependency rule (gate a round-(r+1) client on round r's
+// dispersal iff it was in round r's cohort) plus pure per-(round, client)
+// stream derivation make training order across rounds unobservable.
+func TestPipelinedMatchesSequential(t *testing.T) {
+	kinds := []models.Kind{models.KindMF, models.KindNeuMF, models.KindNGCF, models.KindLightGCN}
+	workerCounts := []int{1, 2, 8}
+	if testing.Short() {
+		kinds = []models.Kind{models.KindNeuMF, models.KindLightGCN}
+		workerCounts = []int{1, 8}
+	}
+	for _, kind := range kinds {
+		for _, workers := range workerCounts {
+			for _, faulted := range []bool{false, true} {
+				name := fmt.Sprintf("%s/w%d/faulted=%v", kind, workers, faulted)
+				t.Run(name, func(t *testing.T) {
+					cfg := pipelineConfig(kind, workers, faulted)
+					seq := cfg
+					seq.SequentialRounds = true
+					requireEqualHistories(t, name, runHistory(t, cfg), runHistory(t, seq))
+				})
+			}
+		}
+	}
+}
+
+// TestPipelinedFullParticipation pins the degenerate dependency graph: at
+// ClientFraction 1.0 every round-(r+1) client was in cohort(r), so the free
+// wave is empty and the pipeline must collapse to the sequential schedule —
+// still bitwise-identical, with nothing overlapped.
+func TestPipelinedFullParticipation(t *testing.T) {
+	cfg := pipelineConfig(models.KindNeuMF, 4, true)
+	cfg.ClientFraction = 1.0
+	seq := cfg
+	seq.SequentialRounds = true
+	requireEqualHistories(t, "full-participation", runHistory(t, cfg), runHistory(t, seq))
+}
+
+// TestPipelinedWorkerInvariance pins that the pipelined schedule keeps the
+// engine's original guarantee: one pipelined History, any worker count.
+func TestPipelinedWorkerInvariance(t *testing.T) {
+	base := runHistory(t, pipelineConfig(models.KindLightGCN, 1, true))
+	for _, workers := range []int{2, 8} {
+		h := runHistory(t, pipelineConfig(models.KindLightGCN, workers, true))
+		requireEqualHistories(t, fmt.Sprintf("pipelined w%d vs w1", workers), base, h)
+	}
+}

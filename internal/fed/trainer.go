@@ -327,19 +327,26 @@ func predictionsEqual(a, b []comm.Prediction) bool {
 }
 
 // Run executes the configured number of rounds and a final evaluation.
-// Periodic evaluations (Config.EvalEvery) overlap each round's dispersal
-// phase via RunRoundEval; the history is identical to evaluating after the
-// round.
+// The default schedule is the cross-round pipeline (RunPipelined);
+// Config.SequentialRounds retains the serialized baseline. Either way,
+// periodic evaluations (Config.EvalEvery) overlap each round's dispersal
+// phase, and the History is bitwise-identical between the two schedules.
 func (t *Trainer) Run() (*History, error) {
 	h := &History{}
-	for round := 0; round < t.cfg.Rounds; round++ {
-		var rs RoundStats
-		if t.cfg.EvalEvery > 0 && (round+1)%t.cfg.EvalEvery == 0 {
-			rs, _ = t.RunRoundEval(round)
-		} else {
-			rs = t.RunRound(round)
+	if t.cfg.SequentialRounds {
+		for round := 0; round < t.cfg.Rounds; round++ {
+			var rs RoundStats
+			if t.cfg.EvalEvery > 0 && (round+1)%t.cfg.EvalEvery == 0 {
+				rs, _ = t.RunRoundEval(round)
+			} else {
+				rs = t.RunRound(round)
+			}
+			h.Rounds = append(h.Rounds, rs)
 		}
-		h.Rounds = append(h.Rounds, rs)
+	} else {
+		h.Rounds = t.RunPipelined()
+	}
+	for _, rs := range h.Rounds {
 		h.MeanAttackF1 += rs.AttackF1
 	}
 	if len(h.Rounds) > 0 {
